@@ -1,0 +1,36 @@
+"""Ablations of COHANA's design choices (DESIGN.md's ablation index).
+
+* vectorized vs the faithful tuple-at-a-time executor (Algorithms 1-2) —
+  the Python-level proxy for the paper's compiled-scan speed;
+* birth-selection push-down on/off (Section 4.2's optimization);
+* chunk pruning on/off (the two-level encoding's payoff, Section 4.1).
+"""
+
+import pytest
+
+from repro.bench import cohana_engine
+from repro.bench.experiments import TABLE
+from repro.workloads import MAIN_QUERIES
+
+SCALE = 4
+CHUNK_ROWS = 1024
+
+VARIANTS = {
+    "vectorized": dict(executor="vectorized"),
+    "iterator": dict(executor="iterator"),
+    "no-pushdown": dict(executor="vectorized", pushdown=False),
+    "no-pruning": dict(executor="vectorized", prune=False),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("qname", ["Q1", "Q2", "Q4"])
+def test_ablation_variants(benchmark, variant, qname):
+    engine = cohana_engine(SCALE, CHUNK_ROWS)
+    text = MAIN_QUERIES[qname](TABLE)
+    kw = VARIANTS[variant]
+    benchmark.extra_info.update(figure="ablation", variant=variant,
+                                query=qname, scale=SCALE)
+    slow = variant == "iterator"
+    benchmark.pedantic(lambda: engine.query(text, **kw),
+                       rounds=1 if slow else 3, iterations=1)

@@ -1,0 +1,28 @@
+"""Figure 6: COHANA query time under varying chunk size (Q1-Q4).
+
+Paper shape: time grows ~linearly with scale; smaller chunks are slightly
+faster on small data (fewer bytes touched per query), larger chunks win
+once the dataset outgrows memory granularity. One benchmark per
+(query, chunk size) at a fixed scale; the scale sweep lives in
+``run_all.py`` (fig06 report).
+"""
+
+import pytest
+
+from repro.bench import cohana_engine
+from repro.bench.experiments import TABLE
+from repro.workloads import MAIN_QUERIES
+
+SCALE = 4
+CHUNK_ROWS = (256, 1024, 4096, 16384)
+
+
+@pytest.mark.parametrize("chunk_rows", CHUNK_ROWS)
+@pytest.mark.parametrize("qname", sorted(MAIN_QUERIES))
+def test_fig06_cohana_chunk_size(benchmark, qname, chunk_rows):
+    engine = cohana_engine(SCALE, chunk_rows)
+    text = MAIN_QUERIES[qname](TABLE)
+    benchmark.extra_info.update(figure="6", query=qname,
+                                chunk_rows=chunk_rows, scale=SCALE)
+    result = benchmark(engine.query, text)
+    assert len(result.rows) > 0

@@ -1,0 +1,41 @@
+"""Figure 7: storage space under varying chunk size.
+
+Paper shape: compressed size grows with chunk size — bigger chunks hold
+more distinct values, so chunk dictionaries get larger and packed codes
+need more bits. The benchmark times compression (also the COHANA line of
+Figure 10) and records the measured sizes in extra_info.
+"""
+
+import pytest
+
+from repro.bench import dataset
+from repro.storage import collect_stats, compress
+
+SCALE = 4
+CHUNK_ROWS = (256, 1024, 4096, 16384)
+
+
+@pytest.mark.parametrize("chunk_rows", CHUNK_ROWS)
+def test_fig07_compression_and_size(benchmark, chunk_rows):
+    table = dataset(SCALE)
+    compressed = benchmark.pedantic(
+        compress, args=(table,), kwargs={"target_chunk_rows": chunk_rows},
+        rounds=2, iterations=1)
+    stats = collect_stats(compressed)
+    benchmark.extra_info.update(
+        figure="7", scale=SCALE, chunk_rows=chunk_rows,
+        compressed_bytes=stats.total_bytes,
+        bits_per_tuple=round(stats.bits_per_tuple, 2),
+        n_chunks=stats.n_chunks)
+    assert stats.total_bytes > 0
+
+
+def test_fig07_size_grows_with_chunk_size(benchmark):
+    """The figure's claim itself: bigger chunks => no smaller footprint."""
+    table = dataset(SCALE)
+    sizes = {rows: collect_stats(compress(table, target_chunk_rows=rows)
+                                 ).total_bytes
+             for rows in (256, 16384)}
+    benchmark.extra_info.update(figure="7", sizes=sizes)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sizes[16384] >= sizes[256]

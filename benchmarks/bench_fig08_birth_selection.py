@@ -1,0 +1,32 @@
+"""Figure 8: effect of birth selection selectivity (Q5 / Q6).
+
+Paper shape: Q5's time tracks the birth CDF (push-down + user skipping
+make cost proportional to qualified users); Q6 is flatter because finding
+each user's ``shop`` birth tuple costs a scan prefix regardless of the
+date window.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine
+from repro.bench.experiments import TABLE, _START
+from repro.workloads import day_offset, q5, q6
+
+DAYS = (3, 10, 39)
+CHUNK_ROWS = 4096
+
+
+@pytest.mark.parametrize("day", DAYS)
+def test_fig08_q5_birth_window(benchmark, day):
+    engine = cohana_engine(1, CHUNK_ROWS)
+    text = q5(_START, day_offset(_START, day), TABLE)
+    benchmark.extra_info.update(figure="8", query="Q5", day=day)
+    benchmark(engine.query, text)
+
+
+@pytest.mark.parametrize("day", DAYS)
+def test_fig08_q6_birth_window(benchmark, day):
+    engine = cohana_engine(1, CHUNK_ROWS)
+    text = q6(_START, day_offset(_START, day), TABLE)
+    benchmark.extra_info.update(figure="8", query="Q6", day=day)
+    benchmark(engine.query, text)

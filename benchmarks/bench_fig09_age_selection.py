@@ -1,0 +1,29 @@
+"""Figure 9: effect of age selection (Q7 / Q8).
+
+Paper shape: Q7 grows ~linearly with the age cutoff (bounded by distinct
+users active in the range); Q8 grows slowly — shop activity thins out at
+higher ages (the aging effect), so widening the window adds few tuples.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine
+from repro.bench.experiments import TABLE
+from repro.workloads import q7, q8
+
+AGES = (1, 7, 14)
+CHUNK_ROWS = 4096
+
+
+@pytest.mark.parametrize("g", AGES)
+def test_fig09_q7_age_cutoff(benchmark, g):
+    engine = cohana_engine(1, CHUNK_ROWS)
+    benchmark.extra_info.update(figure="9", query="Q7", age_cutoff=g)
+    benchmark(engine.query, q7(g, TABLE))
+
+
+@pytest.mark.parametrize("g", AGES)
+def test_fig09_q8_age_cutoff(benchmark, g):
+    engine = cohana_engine(1, CHUNK_ROWS)
+    benchmark.extra_info.update(figure="9", query="Q8", age_cutoff=g)
+    benchmark(engine.query, q8(g, TABLE))

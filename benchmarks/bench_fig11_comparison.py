@@ -1,0 +1,29 @@
+"""Figure 11: the comparative study — COHANA vs the non-intrusive schemes.
+
+Paper shape (per query, at every scale):
+``PG-S`` slowest ≫ ``PG-M`` ≫ ``MONET-S`` ≫ ``MONET-M`` ≫ ``COHANA``,
+with COHANA 1-3 orders faster than MONET-M. One benchmark per
+(system, query) at a fixed scale; the scale sweep lives in run_all.py.
+"""
+
+import pytest
+
+from repro.bench import dataset, prepared_system
+from repro.bench.experiments import TABLE, FIG11_SYSTEMS
+from repro.workloads import MAIN_QUERIES, bind
+
+SCALE = 2
+CHUNK_ROWS = 4096
+
+
+@pytest.mark.parametrize("system_label", FIG11_SYSTEMS)
+@pytest.mark.parametrize("qname", sorted(MAIN_QUERIES))
+def test_fig11_scheme_comparison(benchmark, system_label, qname):
+    system = prepared_system(system_label, SCALE, CHUNK_ROWS)
+    query = bind(MAIN_QUERIES[qname](TABLE), dataset(SCALE).schema)
+    benchmark.extra_info.update(figure="11", system=system_label,
+                                query=qname, scale=SCALE)
+    slow = system_label in ("PG-S", "PG-M")
+    result = benchmark.pedantic(system.run, args=(query,),
+                                rounds=1 if slow else 3, iterations=1)
+    assert result.columns[0] == "country"

@@ -1,0 +1,41 @@
+"""Tables 2-3 / Figure 1: the paper's motivating shopping-trend analysis.
+
+Table 2 is the OLAP query Qs (weekly ``Avg(gold)`` via SQL GROUP BY);
+Table 3 is the cohort version (weekly launch cohorts × age). The
+benchmark regenerates both; ``examples/shopping_trend.py`` prints them.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine, dataset
+from repro.bench.experiments import TABLE, _START
+from repro.relational import Database
+from repro.schema import parse_timestamp
+
+CHUNK_ROWS = 4096
+
+
+def test_table2_olap_weekly_average(benchmark):
+    table = dataset(1)
+    db = Database(executor="columnar")
+    db.register_activity_table(TABLE, table)
+    origin = parse_timestamp(_START)
+    sql = (f"SELECT week, Avg(gold) AS avgSpent FROM {TABLE} "
+           f"WHERE action = 'shop' "
+           f"GROUP BY Week(time, {origin}) AS week ORDER BY week")
+    benchmark.extra_info.update(table="2")
+    result = benchmark(db.execute, sql)
+    assert len(result) >= 1
+
+
+def test_table3_cohort_report(benchmark):
+    engine = cohana_engine(1, CHUNK_ROWS)
+    origin = parse_timestamp(_START)
+    text = (f"SELECT time, COHORTSIZE, AGE, Avg(gold) AS avgSpent "
+            f"FROM {TABLE} BIRTH FROM action = \"launch\" "
+            f"AGE ACTIVITIES IN action = \"shop\" "
+            f"COHORT BY time UNIT week")
+    benchmark.extra_info.update(table="3")
+    query = engine.parse(text, age_unit="week", time_bin_origin=origin)
+    result = benchmark(engine.query, query)
+    assert len(result.rows) >= 1

@@ -1,0 +1,20 @@
+"""Shared settings for the benchmark suite.
+
+Benchmarks run at reduced scales (the harness datasets are ~1/1000 of the
+paper's per scale unit) — the point is reproducing each figure's *shape*:
+orderings, slopes and crossovers, not absolute seconds. ``run_all.py``
+prints the full figure-style reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import dataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_datasets():
+    """Generate/scale the shared datasets once before timing anything."""
+    for scale in (1, 2, 4):
+        dataset(scale)

@@ -1,0 +1,21 @@
+"""Regenerate every figure of the paper's evaluation as text reports.
+
+Usage::
+
+    python benchmarks/run_all.py              # everything
+    python benchmarks/run_all.py fig11 fig08  # selected experiments
+
+The reports print the same rows/series the paper plots; EXPERIMENTS.md
+records paper-vs-measured shape for each. Absolute numbers differ from
+the paper (pure Python + synthetic data at ~1/1000 size); orderings,
+slopes and crossovers are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.report_runner import run_and_print
+
+if __name__ == "__main__":
+    raise SystemExit(run_and_print(sys.argv[1:]))

@@ -1,0 +1,62 @@
+"""Mixed cohort + SQL querying (the paper's Section 3.5 extension).
+
+A cohort query runs first ("cohort query first" evaluation, which
+guarantees no birth tuples are lost), its result is registered as a
+relation, and an outer SQL query slices it — the paper's example of
+retrieving specific cohort trends for further analysis:
+
+    WITH cohorts AS (Q1)
+    SELECT cohort, AGE, spent FROM cohorts
+    WHERE cohort IN ["Australia", "China"]
+
+Run:  python examples/mixed_query.py
+"""
+
+from repro.cohana import CohanaEngine
+from repro.datagen import GameConfig, generate
+from repro.relational import Database, RelTable
+
+table = generate(GameConfig(n_users=150, seed=47))
+
+# -- 1. the inner cohort query (evaluated first) -------------------------------
+
+engine = CohanaEngine()
+engine.create_table("GameActions", table, target_chunk_rows=4096)
+cohorts = engine.query("""
+    SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+    FROM GameActions
+    BIRTH FROM action = "launch"
+    AGE ACTIVITIES IN action = "shop"
+    COHORT BY country
+""")
+print(f"Inner cohort query produced {len(cohorts)} "
+      f"(cohort, age) buckets.\n")
+
+# -- 2. register the cohort result and run the outer SQL -----------------------
+
+db = Database(executor="columnar")
+db.register("cohorts", RelTable(cohorts.columns, cohorts.rows))
+
+outer = db.execute("""
+    SELECT country, age, spent
+    FROM cohorts
+    WHERE country IN ('Australia', 'China') AND age <= 7
+    ORDER BY country, age
+""")
+print("Outer SQL over the cohort result "
+      "(WHERE cohort IN ['Australia','China'], first week):")
+print(outer.to_text(max_rows=20))
+
+# -- 3. OLAP on top: compare total early spend per selected cohort --------------
+
+summary = db.execute("""
+    SELECT country, Sum(spent) AS first_week_spend, Max(age) AS ages
+    FROM cohorts
+    WHERE age <= 7
+    GROUP BY country
+    ORDER BY first_week_spend DESC
+    LIMIT 5
+""")
+print("\nTop cohorts by first-week spend (SQL aggregation over cohort "
+      "results):")
+print(summary.to_text())

@@ -1,0 +1,62 @@
+"""The paper's motivating analysis: OLAP (Table 2) vs cohort (Table 3).
+
+The OLAP query Qs reports weekly ``Avg(gold)`` and shows a muddled trend.
+The cohort version separates the *aging* effect (read a row left to
+right: players spend less as they age) from the *social-change* effect
+(read a column top to bottom: later cohorts hold up better), which is
+exactly the insight the flat GROUP BY cannot express.
+
+Run:  python examples/shopping_trend.py
+"""
+
+from repro.cohana import CohanaEngine
+from repro.datagen import GameConfig, generate
+from repro.relational import Database
+from repro.schema import parse_timestamp
+
+config = GameConfig(n_users=200, seed=11)
+table = generate(config)
+origin = parse_timestamp(config.start)
+print(f"Synthetic game dataset: {len(table)} activity tuples from "
+      f"{len(table.distinct_users())} players\n")
+
+# -- Table 2: the OLAP shopping trend (SQL GROUP BY) --------------------------
+
+db = Database(executor="columnar")
+db.register_activity_table("GameActions", table)
+olap = db.execute(f"""
+    SELECT week, Avg(gold) AS avgSpent
+    FROM GameActions
+    WHERE action = 'shop'
+    GROUP BY Week(time, {origin}) AS week
+    ORDER BY week
+""")
+from repro.relational import RelTable
+from repro.schema import format_timestamp
+
+pretty = RelTable(olap.names,
+                  [(format_timestamp(week), round(avg, 2))
+                   for week, avg in olap.rows])
+print("Table 2 — OLAP weekly average spend:")
+print(pretty.to_text())
+print()
+
+# -- Table 3: the cohort shopping trend ---------------------------------------
+
+engine = CohanaEngine()
+engine.create_table("GameActions", table, target_chunk_rows=4096)
+query = engine.parse("""
+    SELECT time, COHORTSIZE, AGE, Avg(gold) AS avgSpent
+    FROM GameActions
+    BIRTH FROM action = "launch"
+    AGE ACTIVITIES IN action = "shop"
+    COHORT BY time UNIT week
+""", age_unit="week", time_bin_origin=origin)
+result = engine.query(query)
+
+print("Table 3 — weekly launch cohorts, Avg(gold) by age (weeks):")
+print(result.pivot("avgSpent").to_text())
+print()
+print("Reading guide: rows show the aging effect (spend declines with "
+      "age);\ncolumns show the social-change effect (later cohorts "
+      "decline more slowly).")

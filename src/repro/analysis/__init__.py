@@ -1,0 +1,9 @@
+"""Analyst-facing helpers built on cohort query results."""
+
+from repro.analysis.retention import (
+    RetentionMatrix,
+    cohort_comparison,
+    retention_matrix,
+)
+
+__all__ = ["RetentionMatrix", "cohort_comparison", "retention_matrix"]

@@ -1,0 +1,135 @@
+"""Higher-level retention analytics on cohort query results.
+
+The paper's headline application (Section 4.5) is user retention: a
+``UserCount()`` cohort query yields absolute retained-user counts per
+(cohort, age); this module turns that relation into the artifacts
+analysts actually read — retention *rates* normalized by cohort size,
+the classic retention triangle, and cross-cohort summary curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.cohort.result import CohortResult
+
+
+@dataclass
+class RetentionMatrix:
+    """Retention rates per cohort per age.
+
+    Attributes:
+        cohort_labels: one per cohort, in sorted label order.
+        cohort_sizes: users born into each cohort.
+        ages: the age axis (sorted, positive).
+        rates: ``rates[i][j]`` = retained fraction of cohort i at age
+            ``ages[j]`` (None where the bucket is unobserved).
+    """
+
+    cohort_labels: list[str]
+    cohort_sizes: list[int]
+    ages: list[int]
+    rates: list[list[float | None]]
+
+    def rate(self, cohort_label: str, age: int) -> float | None:
+        """The retention rate of one (cohort, age), or None."""
+        try:
+            i = self.cohort_labels.index(cohort_label)
+            j = self.ages.index(age)
+        except ValueError:
+            return None
+        return self.rates[i][j]
+
+    def overall_curve(self) -> dict[int, float]:
+        """Population-weighted retention rate per age across cohorts.
+
+        Only cohorts with an observed bucket at an age contribute to
+        that age's denominator (cohorts too young to have reached the
+        age are excluded, avoiding the classic triangle bias).
+        """
+        curve: dict[int, float] = {}
+        for j, age in enumerate(self.ages):
+            retained = 0.0
+            population = 0
+            for i, size in enumerate(self.cohort_sizes):
+                if self.rates[i][j] is None:
+                    continue
+                retained += self.rates[i][j] * size
+                population += size
+            if population:
+                curve[age] = retained / population
+        return curve
+
+    def to_text(self, max_ages: int = 14) -> str:
+        """The retention triangle as percentages."""
+        ages = self.ages[:max_ages]
+        label_w = max([len("cohort")]
+                      + [len(f"{l} ({s})") for l, s in
+                         zip(self.cohort_labels, self.cohort_sizes)])
+        head = ("cohort".ljust(label_w) + " | "
+                + "  ".join(f"{a:>4}" for a in ages))
+        lines = ["retention (% of cohort)", head, "-" * len(head)]
+        for label, size, row in zip(self.cohort_labels,
+                                    self.cohort_sizes, self.rates):
+            cells = "  ".join(
+                "   ." if row[j] is None else f"{row[j] * 100:>3.0f}%"
+                for j in range(len(ages)))
+            lines.append(f"{label} ({size})".ljust(label_w) + " | "
+                         + cells)
+        return "\n".join(lines)
+
+
+def retention_matrix(result: CohortResult,
+                     measure: str | None = None) -> RetentionMatrix:
+    """Normalize a ``UserCount()`` cohort result into retention rates.
+
+    Args:
+        result: a cohort query result whose measure counts distinct
+            retained users (e.g. the paper's Q1).
+        measure: the count column; defaults to the first measure.
+
+    Raises:
+        QueryError: if a bucket's count exceeds its cohort size (the
+            measure is not a user count).
+    """
+    report = result.pivot(measure)
+    rates: list[list[float | None]] = []
+    for label, size, row in zip(report.cohort_labels,
+                                report.cohort_sizes, report.cells):
+        out_row: list[float | None] = []
+        for value in row:
+            if value is None:
+                out_row.append(None)
+                continue
+            if value > size:
+                raise QueryError(
+                    f"bucket count {value} exceeds cohort size {size} "
+                    f"for cohort {label!r}; retention needs a "
+                    "UserCount()-style measure")
+            out_row.append(value / size if size else None)
+        rates.append(out_row)
+    return RetentionMatrix(
+        cohort_labels=report.cohort_labels,
+        cohort_sizes=report.cohort_sizes,
+        ages=report.ages,
+        rates=rates,
+    )
+
+
+def cohort_comparison(result: CohortResult, measure: str | None = None,
+                      at_age: int = 1) -> list[tuple[str, int, float]]:
+    """Rank cohorts by a measure at a fixed age.
+
+    Returns ``(label, size, value)`` triples sorted descending by value —
+    a quick answer to "which cohorts perform best at age N?".
+    """
+    report = result.pivot(measure)
+    ranked = []
+    for label, size, row in zip(report.cohort_labels,
+                                report.cohort_sizes, report.cells):
+        value = report.cell(label, at_age)
+        if value is not None:
+            ranked.append((label, size, value))
+    ranked.sort(key=lambda item: item[2], reverse=True)
+    return ranked

@@ -1,0 +1,31 @@
+"""The paper's non-intrusive cohort evaluation schemes (Section 2)."""
+
+from repro.baselines.mv_scheme import (
+    MvScheme,
+    mv_creation_sql,
+    mv_name_for,
+    mv_query_sql,
+)
+from repro.baselines.runner import (
+    SYSTEMS,
+    PreparedSystem,
+    prepare_system,
+    run_everywhere,
+)
+from repro.baselines.sql_scheme import SqlScheme, cohort_query_to_sql
+from repro.baselines.translate import condition_to_sql, to_cohort_result
+
+__all__ = [
+    "MvScheme",
+    "PreparedSystem",
+    "SYSTEMS",
+    "SqlScheme",
+    "cohort_query_to_sql",
+    "condition_to_sql",
+    "mv_creation_sql",
+    "mv_name_for",
+    "mv_query_sql",
+    "prepare_system",
+    "run_everywhere",
+    "to_cohort_result",
+]

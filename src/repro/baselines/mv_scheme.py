@@ -1,0 +1,137 @@
+"""The materialized-view scheme (Section 2 and Figure 3).
+
+One MV per birth action: every activity tuple joined with its user's
+birth time (``bt``), the birth value of *every* dimension attribute
+(``b_<dim>`` — the paper materializes time, role, country and city), and
+the precomputed raw age. Queries then need a single join (against the
+cohort-size relation) instead of the SQL scheme's multi-join pipeline —
+but the MV costs two joins to build and roughly doubles storage, which is
+what Figure 10 measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, QueryError
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.relational.database import Database
+from repro.schema import ActivitySchema, ColumnRole
+from repro.baselines.translate import (
+    condition_to_sql,
+    label_sql,
+    outer_query_sql,
+    quote,
+    size_cte_sql,
+    to_cohort_result,
+)
+
+
+def mv_name_for(table: str, birth_action: str) -> str:
+    """Canonical MV name for (table, birth action)."""
+    safe = "".join(ch if ch.isalnum() else "_" for ch in birth_action)
+    return f"{table}_mv_{safe}"
+
+
+def mv_creation_sql(schema: ActivitySchema, table: str,
+                    birth_action: str) -> str:
+    """The ``CREATE TABLE AS`` body materializing the view."""
+    u = schema.user.name
+    t = schema.time.name
+    a = schema.action.name
+    e = quote(birth_action)
+    dims = [c.name for c in schema if c.role is ColumnRole.DIMENSION]
+    carried = [c.name for c in schema if c.name != u]
+    birth_cols = ", ".join([f"D.{u} AS p", "birth.bt AS bt"]
+                           + [f"D.{name} AS b_{name}" for name in dims])
+    mv_cols = ", ".join(
+        [f"D.{u} AS p"]
+        + [f"D.{name} AS {name}" for name in carried]
+        + ["b.bt AS bt"]
+        + [f"b.b_{name} AS b_{name}" for name in dims]
+        + [f"TimeDiff(D.{t}, b.bt) AS rawage"])
+    return (
+        f"WITH birth AS (\n"
+        f"  SELECT {u} AS p, Min({t}) AS bt FROM {table}\n"
+        f"  WHERE {a} = {e} GROUP BY {u}\n"
+        f"),\n"
+        f"births AS (\n"
+        f"  SELECT {birth_cols}\n"
+        f"  FROM {table} D, birth\n"
+        f"  WHERE D.{u} = birth.p AND D.{t} = birth.bt AND D.{a} = {e}\n"
+        f")\n"
+        f"SELECT {mv_cols}\n"
+        f"FROM {table} D, births b\n"
+        f"WHERE D.{u} = b.p"
+    )
+
+
+def mv_query_sql(query: CohortQuery, schema: ActivitySchema,
+                 mv: str) -> str:
+    """The Figure 3-style query over a materialized view."""
+    t = schema.time.name
+    birth_cond = condition_to_sql(
+        query.birth_condition,
+        plain=lambda name: "bt" if name == t else f"b_{name}",
+        birth=lambda name: f"b_{name}",
+        age_sql=None,
+    )
+    labels = label_sql(query, schema, birth_col=lambda name: f"b_{name}")
+    label_items = ", ".join(f"{expr} AS cohort_{i}"
+                            for i, expr in enumerate(labels))
+    return (
+        f"WITH birthView AS (\n"
+        f"  SELECT * FROM {mv} WHERE {birth_cond}\n"
+        f"),\n"
+        f"labeled AS (\n"
+        f"  SELECT *, {label_items} FROM birthView\n"
+        f"),\n"
+        f"cohort_size AS (\n"
+        f"  {size_cte_sql(query)}\n"
+        f")\n"
+        f"{outer_query_sql(query)}"
+    )
+
+
+class MvScheme:
+    """Builds MVs per birth action and runs cohort queries against them."""
+
+    name = "mv"
+
+    def __init__(self, db: Database, table: str, schema: ActivitySchema):
+        self.db = db
+        self.table = table
+        self.schema = schema
+        self._views: dict[str, str] = {}
+
+    def prepare(self, birth_action: str) -> str:
+        """Materialize (once) the view for ``birth_action``.
+
+        This is the expensive step Figure 10 measures. Returns the MV's
+        table name.
+        """
+        if birth_action in self._views:
+            return self._views[birth_action]
+        mv = mv_name_for(self.table, birth_action)
+        sql = mv_creation_sql(self.schema, self.table, birth_action)
+        try:
+            self.db.create_table_as(mv, sql)
+        except CatalogError:
+            pass  # already materialized in this database
+        self._views[birth_action] = mv
+        return mv
+
+    def translate(self, query: CohortQuery) -> str:
+        """The SQL text for ``query`` (requires a prepared MV)."""
+        query.validate(self.schema)
+        if query.birth_action not in self._views:
+            raise QueryError(
+                f"no materialized view for birth action "
+                f"{query.birth_action!r}; call prepare() first — the MV "
+                f"scheme is per birth action (Section 2)")
+        return mv_query_sql(query, self.schema,
+                            self._views[query.birth_action])
+
+    def run(self, query: CohortQuery) -> CohortResult:
+        """Execute ``query`` against its birth action's MV."""
+        rel = self.db.execute(self.translate(query))
+        return to_cohort_result(rel, query, self.schema)

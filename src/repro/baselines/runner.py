@@ -1,0 +1,103 @@
+"""A uniform runner over every (scheme × engine) evaluation combination.
+
+The paper's comparative study (Figure 11) runs five systems:
+
+====================  =======================================
+label                 meaning here
+====================  =======================================
+``COHANA``            the cohort engine, vectorized executor
+``COHANA-ITER``       ablation: tuple-at-a-time executor
+``MONET-S``           SQL scheme on the columnar engine
+``MONET-M``           MV scheme on the columnar engine
+``PG-S``              SQL scheme on the row engine
+``PG-M``              MV scheme on the row engine
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.cohana.engine import CohanaEngine
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.relational.database import Database
+from repro.baselines.mv_scheme import MvScheme
+from repro.baselines.sql_scheme import SqlScheme
+from repro.table import ActivityTable
+
+#: Figure 11's system labels.
+SYSTEMS = ("COHANA", "COHANA-ITER", "MONET-S", "MONET-M", "PG-S", "PG-M")
+
+
+@dataclass
+class PreparedSystem:
+    """One ready-to-query evaluation system.
+
+    Attributes:
+        label: one of :data:`SYSTEMS`.
+        runner: object with ``run(CohortQuery) -> CohortResult``.
+    """
+
+    label: str
+    runner: object
+
+    def run(self, query: CohortQuery) -> CohortResult:
+        return self.runner.run(query)
+
+
+class _CohanaRunner:
+    def __init__(self, engine: CohanaEngine, table: str, executor: str):
+        self.engine = engine
+        self.table = table
+        self.executor = executor
+
+    def run(self, query: CohortQuery) -> CohortResult:
+        if query.table is None:
+            query = query.__class__(**{**query.__dict__,
+                                       "table": self.table})
+        return self.engine.query(query, executor=self.executor)
+
+
+def prepare_system(label: str, table: ActivityTable,
+                   birth_actions: tuple[str, ...] = (),
+                   table_name: str = "D",
+                   chunk_rows: int = 65536) -> PreparedSystem:
+    """Load ``table`` into the system named ``label``.
+
+    For the MV schemes, ``birth_actions`` lists the actions to
+    materialize views for (queries may only use these).
+    """
+    if label in ("COHANA", "COHANA-ITER"):
+        engine = CohanaEngine()
+        engine.create_table(table_name, table,
+                            target_chunk_rows=chunk_rows)
+        executor = "vectorized" if label == "COHANA" else "iterator"
+        return PreparedSystem(label, _CohanaRunner(engine, table_name,
+                                                   executor))
+    if label in ("MONET-S", "MONET-M", "PG-S", "PG-M"):
+        executor = "columnar" if label.startswith("MONET") else "rows"
+        db = Database(executor=executor)
+        db.register_activity_table(table_name, table)
+        if label.endswith("-S"):
+            return PreparedSystem(label, SqlScheme(db, table_name,
+                                                   table.schema))
+        scheme = MvScheme(db, table_name, table.schema)
+        for action in birth_actions:
+            scheme.prepare(action)
+        return PreparedSystem(label, scheme)
+    raise QueryError(f"unknown system label {label!r}; have {SYSTEMS}")
+
+
+def run_everywhere(table: ActivityTable, query: CohortQuery,
+                   systems: tuple[str, ...] = SYSTEMS,
+                   chunk_rows: int = 65536) -> dict[str, CohortResult]:
+    """Evaluate ``query`` on every requested system (correctness tool)."""
+    out: dict[str, CohortResult] = {}
+    for label in systems:
+        system = prepare_system(label, table,
+                                birth_actions=(query.birth_action,),
+                                chunk_rows=chunk_rows)
+        out[label] = system.run(query)
+    return out

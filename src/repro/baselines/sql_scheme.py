@@ -1,0 +1,112 @@
+"""The SQL scheme: cohort queries as plain SQL over the activity table
+(Section 2, Figure 2).
+
+The generated statement mirrors the paper's four sub-queries plus outer
+aggregation:
+
+* ``birth``        — each user's birth time for the birth action,
+* ``birth_tuples`` — the birth activity tuples with the birth attributes,
+* ``qualified``    — birth selection applied to the birth tuples,
+* ``cohort_t``     — every activity tuple of qualified users joined with
+  its birth attributes and raw age (two joins — the scheme's cost),
+* ``labeled`` / ``cohort_size`` / outer — cohort labels, sizes and the
+  per-(cohort, age) aggregation.
+"""
+
+from __future__ import annotations
+
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.relational.database import Database
+from repro.schema import ActivitySchema
+from repro.baselines.translate import (
+    birth_attributes_needed,
+    condition_to_sql,
+    label_sql,
+    outer_query_sql,
+    quote,
+    size_cte_sql,
+    to_cohort_result,
+)
+
+
+def cohort_query_to_sql(query: CohortQuery, schema: ActivitySchema,
+                        table: str) -> str:
+    """Translate ``query`` into one SQL statement over ``table``."""
+    u = schema.user.name
+    t = schema.time.name
+    a = schema.action.name
+    e = quote(query.birth_action)
+    battrs = birth_attributes_needed(query, schema)
+
+    birth_cols = ", ".join([f"D.{u} AS p", "birth.bt AS bt"]
+                           + [f"D.{name} AS b_{name}" for name in battrs])
+    birth_cond = condition_to_sql(
+        query.birth_condition,
+        plain=lambda name: "bt" if name == t else f"b_{name}",
+        birth=lambda name: f"b_{name}",
+        age_sql=None,
+    )
+    carried = [c.name for c in schema if c.name != u]
+    cohort_cols = ", ".join(
+        [f"D.{u} AS p"]
+        + [f"D.{name} AS {name}" for name in carried]
+        + ["q.bt AS bt"]
+        + [f"q.b_{name} AS b_{name}" for name in battrs]
+        + [f"TimeDiff(D.{t}, q.bt) AS rawage"])
+    labels = label_sql(query, schema, birth_col=lambda name: f"b_{name}")
+    label_items = ", ".join(f"{expr} AS cohort_{i}"
+                            for i, expr in enumerate(labels))
+    return (
+        f"WITH birth AS (\n"
+        f"  SELECT {u} AS p, Min({t}) AS bt FROM {table}\n"
+        f"  WHERE {a} = {e} GROUP BY {u}\n"
+        f"),\n"
+        f"birth_tuples AS (\n"
+        f"  SELECT {birth_cols}\n"
+        f"  FROM {table} D, birth\n"
+        f"  WHERE D.{u} = birth.p AND D.{t} = birth.bt AND D.{a} = {e}\n"
+        f"),\n"
+        f"qualified AS (\n"
+        f"  SELECT * FROM birth_tuples WHERE {birth_cond}\n"
+        f"),\n"
+        f"cohort_t AS (\n"
+        f"  SELECT {cohort_cols}\n"
+        f"  FROM {table} D, qualified q\n"
+        f"  WHERE D.{u} = q.p\n"
+        f"),\n"
+        f"labeled AS (\n"
+        f"  SELECT *, {label_items} FROM cohort_t\n"
+        f"),\n"
+        f"cohort_size AS (\n"
+        f"  {size_cte_sql(query)}\n"
+        f")\n"
+        f"{outer_query_sql(query)}"
+    )
+
+
+class SqlScheme:
+    """Runs cohort queries as generated SQL against a Database.
+
+    Args:
+        db: the database holding the activity table.
+        table: the registered activity-table name.
+        schema: the activity schema (drives the translation).
+    """
+
+    name = "sql"
+
+    def __init__(self, db: Database, table: str, schema: ActivitySchema):
+        self.db = db
+        self.table = table
+        self.schema = schema
+
+    def translate(self, query: CohortQuery) -> str:
+        """The SQL text that would be executed for ``query``."""
+        query.validate(self.schema)
+        return cohort_query_to_sql(query, self.schema, self.table)
+
+    def run(self, query: CohortQuery) -> CohortResult:
+        """Execute ``query`` and return its cohort result."""
+        rel = self.db.execute(self.translate(query))
+        return to_cohort_result(rel, query, self.schema)

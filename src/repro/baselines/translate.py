@@ -1,0 +1,216 @@
+"""Shared machinery for translating cohort queries to SQL (Section 3.6).
+
+Both non-intrusive schemes express the three cohort operators as SQL over
+a relational engine; they differ only in whether the birth attributes are
+computed on the fly (the SQL scheme, Figure 2) or read from a materialized
+view (the MV scheme, Figure 3). This module renders condition ASTs to SQL
+text and builds the shared outer aggregation query.
+
+Naming conventions in generated SQL:
+
+* ``p`` / ``bt`` — the user and its birth time,
+* ``b_<attr>`` — the user's birth value of ``<attr>``,
+* ``rawage`` — seconds since birth (``TimeDiff(t, bt)``),
+* ``cohort_<i>`` — the i-th cohort label attribute,
+* ``CeilDiv(rawage, unit)`` — the normalized age.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.cohort.conditions import (
+    AgeRef,
+    And,
+    AttrRef,
+    Between,
+    BirthRef,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+    Not,
+    Operand,
+    Or,
+    TrueCondition,
+)
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.relational.rows import RelTable
+from repro.schema import (
+    TIME_UNIT_SECONDS,
+    ActivitySchema,
+    ColumnRole,
+    format_timestamp,
+)
+
+
+def quote(value) -> str:
+    """Render a literal for SQL text."""
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def condition_to_sql(cond: Condition, plain: Callable[[str], str],
+                     birth: Callable[[str], str],
+                     age_sql: str | None) -> str:
+    """Render a condition AST as a SQL boolean expression.
+
+    Args:
+        plain: maps a plain attribute name to its SQL column expression.
+        birth: maps a ``Birth(attr)`` name to its SQL column expression.
+        age_sql: SQL text for the ``AGE`` keyword (None forbids it).
+    """
+    def operand(op: Operand) -> str:
+        if isinstance(op, Literal):
+            return quote(op.raw)
+        if isinstance(op, AttrRef):
+            return plain(op.name)
+        if isinstance(op, BirthRef):
+            return birth(op.name)
+        if isinstance(op, AgeRef):
+            if age_sql is None:
+                raise QueryError("AGE is not available in this context")
+            return age_sql
+        raise QueryError(f"cannot translate operand {op!r}")
+
+    def walk(c: Condition) -> str:
+        if isinstance(c, TrueCondition):
+            return "1 = 1"
+        if isinstance(c, Compare):
+            return f"{operand(c.left)} {c.op} {operand(c.right)}"
+        if isinstance(c, Between):
+            return (f"{operand(c.operand)} BETWEEN {operand(c.low)} "
+                    f"AND {operand(c.high)}")
+        if isinstance(c, InList):
+            inner = ", ".join(quote(v) for v in c.values)
+            return f"{operand(c.operand)} IN ({inner})"
+        if isinstance(c, And):
+            return " AND ".join(f"({walk(p)})" for p in c.parts)
+        if isinstance(c, Or):
+            return " OR ".join(f"({walk(p)})" for p in c.parts)
+        if isinstance(c, Not):
+            return f"NOT ({walk(c.inner)})"
+        raise QueryError(f"cannot translate condition {c!r}")
+
+    return walk(cond)
+
+
+def birth_attributes_needed(query: CohortQuery,
+                            schema: ActivitySchema) -> list[str]:
+    """Birth attributes the SQL scheme must compute for ``query``.
+
+    The cohort attributes, every plain attribute of the birth condition,
+    and every ``Birth()`` reference of the age condition. The birth time
+    is always carried separately as ``bt``.
+    """
+    time_name = schema.time.name
+    needed = set(query.cohort_by)
+    needed |= query.birth_condition.plain_attributes()
+    needed |= query.age_condition.birth_attributes()
+    needed.discard(time_name)
+    needed.discard(schema.user.name)
+    return [c.name for c in schema if c.name in needed]
+
+
+def label_sql(query: CohortQuery, schema: ActivitySchema,
+              birth_col: Callable[[str], str]) -> list[str]:
+    """SQL expressions computing each cohort label attribute."""
+    out = []
+    for name in query.cohort_by:
+        spec = schema.column(name)
+        if spec.role is ColumnRole.TIME:
+            unit = TIME_UNIT_SECONDS[query.cohort_time_bin]
+            out.append(f"TimeBin(bt, {unit}, {query.time_bin_origin})")
+        else:
+            out.append(birth_col(name))
+    return out
+
+
+def age_sql_expr(query: CohortQuery, rawage: str = "rawage") -> str:
+    """SQL for the normalized age of an age tuple (rawage > 0)."""
+    unit = TIME_UNIT_SECONDS[query.age_unit]
+    return f"CeilDiv({rawage}, {unit})"
+
+
+def aggregate_sql(query: CohortQuery, user_col: str,
+                  prefix: str = "") -> list[str]:
+    """Outer SELECT aggregate expressions, one per AggregateSpec."""
+    out = []
+    for agg in query.aggregates:
+        if agg.func == "USERCOUNT":
+            out.append(f"Count(DISTINCT {prefix}{user_col}) "
+                       f"AS {agg.alias}")
+        elif agg.func == "COUNT":
+            out.append(f"Count(*) AS {agg.alias}")
+        else:
+            out.append(f"{agg.func.capitalize()}({prefix}{agg.column}) "
+                       f"AS {agg.alias}")
+    return out
+
+
+def outer_query_sql(query: CohortQuery, labeled: str = "labeled") -> str:
+    """The shared outer aggregation (Figure 2e / Figure 3d).
+
+    Expects a CTE ``labeled`` with columns ``p``, ``cohort_<i>``,
+    ``rawage``, the ``b_<attr>`` birth attributes and the original
+    measure/dimension columns, plus a CTE ``cohort_size`` keyed by the
+    cohort labels.
+    """
+    k = len(query.cohort_by)
+    label_cols = [f"cohort_{i}" for i in range(k)]
+    age = age_sql_expr(query, "l.rawage")
+    join = " AND ".join(f"l.{c} = s.{c}" for c in label_cols)
+    age_cond = condition_to_sql(
+        query.age_condition,
+        plain=lambda name: f"l.{name}",
+        birth=lambda name: f"l.b_{name}",
+        age_sql=age,
+    )
+    select_labels = ", ".join(f"l.{c} AS {c}" for c in label_cols)
+    aggs = ", ".join(aggregate_sql(query, "p", "l."))
+    group = ", ".join([f"l.{c}" for c in label_cols]
+                      + ["s.cohort_size", f"{age} AS age"])
+    return (
+        f"SELECT {select_labels}, s.cohort_size AS cohort_size, "
+        f"{age} AS age, {aggs}\n"
+        f"FROM {labeled} l, cohort_size s\n"
+        f"WHERE {join} AND l.rawage > 0 AND ({age_cond})\n"
+        f"GROUP BY {group}"
+    )
+
+
+def size_cte_sql(query: CohortQuery, labeled: str = "labeled") -> str:
+    """The cohort_size CTE over the labeled tuples."""
+    k = len(query.cohort_by)
+    label_cols = ", ".join(f"cohort_{i}" for i in range(k))
+    return (f"SELECT {label_cols}, Count(DISTINCT p) AS cohort_size "
+            f"FROM {labeled} GROUP BY {label_cols}")
+
+
+def to_cohort_result(rel: RelTable, query: CohortQuery,
+                     schema: ActivitySchema) -> CohortResult:
+    """Convert a scheme's relational output into a CohortResult.
+
+    Renames columns to the query's canonical output, formats time-binned
+    cohort labels as dates, and applies the canonical sort order.
+    """
+    k = len(query.cohort_by)
+    rows = []
+    time_positions = [i for i, name in enumerate(query.cohort_by)
+                      if schema.column(name).role is ColumnRole.TIME]
+    for row in rel.rows:
+        label = list(row[:k])
+        for i in time_positions:
+            label[i] = format_timestamp(int(label[i]))
+        size, age = row[k], row[k + 1]
+        measures = row[k + 2:]
+        rows.append((*label, size, age, *measures))
+    result = CohortResult(columns=query.output_columns, rows=rows,
+                          n_cohort_columns=k)
+    return result.sorted()

@@ -1,0 +1,32 @@
+"""Benchmark harness: datasets, timing, reports, figure experiments."""
+
+from repro.bench.harness import Report, Series, dataset, time_call
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablations,
+    cohana_engine,
+    fig06_chunk_size,
+    fig07_storage,
+    fig08_birth_selection,
+    fig09_age_selection,
+    fig10_mv_generation,
+    fig11_comparison,
+    prepared_system,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Report",
+    "Series",
+    "ablations",
+    "cohana_engine",
+    "dataset",
+    "fig06_chunk_size",
+    "fig07_storage",
+    "fig08_birth_selection",
+    "fig09_age_selection",
+    "fig10_mv_generation",
+    "fig11_comparison",
+    "prepared_system",
+    "time_call",
+]

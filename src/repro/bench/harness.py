@@ -1,0 +1,115 @@
+"""Experiment harness shared by ``benchmarks/`` and ``run_all.py``.
+
+Provides dataset caching (generating + scaling the workload once per
+process), wall-clock timing, and figure-style reporting: each experiment
+produces a :class:`Series` per line of the paper's plot, and
+:class:`Report` prints them as the rows/series the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.datagen import GameConfig, generate, scale_dataset
+from repro.table import ActivityTable
+
+_DATASETS: dict[tuple, ActivityTable] = {}
+
+
+def dataset(scale: int = 1, n_users: int = 57,
+            seed: int = 7) -> ActivityTable:
+    """The benchmark dataset at ``scale`` (cached per process)."""
+    base_key = (1, n_users, seed)
+    if base_key not in _DATASETS:
+        _DATASETS[base_key] = generate(GameConfig(n_users=n_users,
+                                                  seed=seed))
+    if scale == 1:
+        return _DATASETS[base_key]
+    key = (scale, n_users, seed)
+    if key not in _DATASETS:
+        _DATASETS[key] = scale_dataset(_DATASETS[base_key], scale)
+    return _DATASETS[key]
+
+
+def time_call(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus (x, y) points."""
+
+    label: str
+    points: list[tuple] = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.points.append((x, y))
+
+    def y_at(self, x):
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+
+@dataclass
+class Report:
+    """A figure/table reproduction: titled series over a shared x-axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_named(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def xs(self) -> list:
+        seen: list = []
+        for s in self.series:
+            for x, _ in s.points:
+                if x not in seen:
+                    seen.append(x)
+        return seen
+
+    def to_text(self) -> str:
+        """Render as an aligned table: one row per series, one column
+        per x value (the shape the paper's figures plot)."""
+        xs = self.xs()
+        header = [f"{self.x_label}="] + [str(x) for x in xs]
+        rows = [[s.label] + [_fmt(s.y_at(x)) for x in xs]
+                for s in self.series]
+        widths = [max(len(header[i]),
+                      *(len(r[i]) for r in rows)) if rows else
+                  len(header[i]) for i in range(len(header))]
+        lines = [f"== {self.title} ==",
+                 f"   ({self.y_label})"]
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(header)))
+        lines.append("-" * (sum(widths) + 2 * len(widths)))
+        for row in rows:
+            lines.append("  ".join(c.ljust(widths[i])
+                                   for i, c in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    return f"{value:,}"

@@ -1,0 +1,30 @@
+"""Printing the figure experiments (shared by the CLI and run_all.py)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def run_and_print(names: list[str] | None = None) -> int:
+    """Run the named experiments (all by default) and print reports.
+
+    Returns a process exit code (2 on unknown names).
+    """
+    selected = names or list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(EXPERIMENTS)}")
+        return 2
+    for name in selected:
+        start = time.perf_counter()
+        outcome = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        reports = outcome if isinstance(outcome, list) else [outcome]
+        for report in reports:
+            print()
+            print(report.to_text())
+        print(f"\n[{name} finished in {elapsed:.1f}s]")
+    return 0

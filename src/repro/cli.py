@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write the synthetic mobile-game dataset to CSV;
+* ``compress`` — compress an activity CSV into a ``.cohana`` file;
+* ``inspect``  — print storage statistics of a ``.cohana`` file;
+* ``query``    — run a cohort query against a ``.cohana`` file;
+* ``bench``    — regenerate the paper's evaluation figures.
+
+The CSV commands assume the benchmark's game schema (player / time /
+action / country / city / role / session_length / gold); library users
+with other schemas use the Python API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cohana import CohanaEngine
+from repro.cohana.parser import parse_cohort_query
+from repro.datagen import GameConfig, game_schema, generate, scale_dataset
+from repro.errors import ReproError
+from repro.schema import parse_timestamp
+from repro.storage import collect_stats, compress, load, save
+from repro.table import read_csv, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COHANA cohort query engine "
+                    "(reproduction of Jiang et al., VLDB 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate the game dataset")
+    p.add_argument("output", help="output CSV path")
+    p.add_argument("--users", type=int, default=57)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--scale", type=int, default=1,
+                   help="paper-style scale factor (user replication)")
+
+    p = sub.add_parser("compress", help="compress a CSV into .cohana")
+    p.add_argument("input", help="activity CSV (game schema)")
+    p.add_argument("output", help="output .cohana path")
+    p.add_argument("--chunk-rows", type=int, default=65536)
+
+    p = sub.add_parser("inspect", help="storage stats of a .cohana file")
+    p.add_argument("input", help=".cohana path")
+
+    p = sub.add_parser("query", help="run a cohort query")
+    p.add_argument("input", help=".cohana path")
+    p.add_argument("text", help="cohort query text (FROM names the "
+                                "table this file is registered as)")
+    p.add_argument("--executor", default="vectorized",
+                   choices=("vectorized", "iterator"))
+    p.add_argument("--age-unit", default="day")
+    p.add_argument("--origin", default=None,
+                   help="time-bin origin date for COHORT BY time")
+    p.add_argument("--explain", action="store_true",
+                   help="print the plan instead of executing")
+    p.add_argument("--pivot", action="store_true",
+                   help="print the pivoted cohort report too")
+
+    p = sub.add_parser("bench", help="run the figure experiments")
+    p.add_argument("names", nargs="*", help="experiment names "
+                                            "(default: all)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "generate":
+        table = generate(GameConfig(n_users=args.users, seed=args.seed))
+        table = scale_dataset(table, args.scale)
+        write_csv(table, args.output)
+        print(f"wrote {len(table)} tuples "
+              f"({len(table.distinct_users())} users) to {args.output}")
+        return 0
+    if args.command == "compress":
+        table = read_csv(args.input, game_schema())
+        compressed = compress(table, target_chunk_rows=args.chunk_rows)
+        n_bytes = save(compressed, args.output)
+        print(f"compressed {len(table)} tuples into {args.output}: "
+              f"{n_bytes} bytes, {compressed.n_chunks} chunks")
+        return 0
+    if args.command == "inspect":
+        stats = collect_stats(load(args.input))
+        print(f"{args.input}: {stats.n_rows} tuples, "
+              f"{stats.n_chunks} chunks "
+              f"(target {stats.target_chunk_rows} rows/chunk)")
+        print(f"  total          {stats.total_bytes:>12,} bytes "
+              f"({stats.bits_per_tuple:.1f} bits/tuple)")
+        print(f"  user RLE       {stats.user_rle_bytes:>12,} bytes")
+        print(f"  global dicts   {stats.global_dict_bytes:>12,} bytes")
+        for name in sorted(stats.columns):
+            col = stats.columns[name]
+            print(f"  {name:<14} {col.total_bytes:>12,} bytes "
+                  f"[{col.kind}]")
+        return 0
+    if args.command == "query":
+        engine = CohanaEngine()
+        table_name = parse_cohort_query(args.text).table
+        engine.load_table(table_name, args.input)
+        origin = parse_timestamp(args.origin) if args.origin else 0
+        query = engine.parse(args.text, age_unit=args.age_unit,
+                             time_bin_origin=origin)
+        if args.explain:
+            print(engine.explain(query))
+            return 0
+        result = engine.query(query, executor=args.executor)
+        print(result.to_text())
+        if args.pivot:
+            print()
+            print(result.pivot().to_text())
+        return 0
+    if args.command == "bench":
+        from repro.bench.report_runner import run_and_print
+        return run_and_print(args.names)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""COHANA: the columnar cohort query engine (Section 4)."""
+
+from repro.cohana.binder import bind_cohort_query
+from repro.cohana.engine import EXECUTORS, CohanaEngine
+from repro.cohana.parser import ParsedCohortQuery, parse_cohort_query
+from repro.cohana.render import render_condition, render_query
+from repro.cohana.planner import (
+    CohortPlan,
+    extract_time_bounds,
+    plan_query,
+    required_columns,
+)
+from repro.cohana.tablescan import ChunkScan, LazyRow
+from repro.cohana.vectorized import ExecStats
+
+__all__ = [
+    "ChunkScan",
+    "CohanaEngine",
+    "CohortPlan",
+    "EXECUTORS",
+    "ExecStats",
+    "LazyRow",
+    "ParsedCohortQuery",
+    "bind_cohort_query",
+    "extract_time_bounds",
+    "parse_cohort_query",
+    "plan_query",
+    "render_condition",
+    "render_query",
+    "required_columns",
+]

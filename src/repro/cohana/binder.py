@@ -1,0 +1,183 @@
+"""Binding parsed cohort queries against an activity schema.
+
+The binder turns a schema-independent :class:`ParsedCohortQuery` into a
+validated :class:`~repro.cohort.CohortQuery`:
+
+* extracts the mandatory ``action = <e>`` conjunct from the BIRTH FROM
+  clause (the query's birth action);
+* coerces literals to the compared column's type (so time literals like
+  ``"2013-05-21"`` become epoch seconds);
+* resolves SELECT-list items against the COHORT BY attributes and builds
+  :class:`~repro.cohort.AggregateSpec` entries with stable aliases.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindError
+from repro.cohort.aggregates import AGGREGATE_FUNCTIONS, AggregateSpec
+from repro.cohort.conditions import (
+    AgeRef,
+    And,
+    AttrRef,
+    Between,
+    BirthRef,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+    Not,
+    Operand,
+    Or,
+    TrueCondition,
+    conjoin,
+)
+from repro.cohort.query import CohortQuery
+from repro.cohana.parser import ParsedCohortQuery
+from repro.schema import ActivitySchema, LogicalType, coerce_value
+
+
+def bind_cohort_query(parsed: ParsedCohortQuery, schema: ActivitySchema,
+                      age_unit: str = "day",
+                      time_bin_origin: int = 0) -> CohortQuery:
+    """Bind ``parsed`` against ``schema`` and validate the result.
+
+    Raises:
+        BindError: on missing birth action, unknown columns/functions, or
+            SELECT items inconsistent with COHORT BY.
+    """
+    birth_action, birth_condition = _extract_birth_action(
+        parsed.birth_clause, schema)
+    birth_condition = _coerce_literals(birth_condition, schema)
+    age_condition = _coerce_literals(parsed.age_clause, schema)
+    aggregates = _bind_select(parsed, schema)
+    query = CohortQuery(
+        birth_action=birth_action,
+        cohort_by=tuple(parsed.cohort_by),
+        aggregates=tuple(aggregates),
+        birth_condition=birth_condition,
+        age_condition=age_condition,
+        age_unit=age_unit,
+        cohort_time_bin=parsed.cohort_time_bin or "week",
+        time_bin_origin=time_bin_origin,
+        table=parsed.table,
+    )
+    try:
+        query.validate(schema)
+    except Exception as exc:
+        raise BindError(str(exc)) from None
+    return query
+
+
+def _extract_birth_action(clause: Condition,
+                          schema: ActivitySchema) -> tuple[str, Condition]:
+    """Pull the ``action = e`` conjunct out of the BIRTH FROM clause."""
+    action_name = schema.action.name
+    if isinstance(clause, And):
+        conjuncts = list(clause.parts)
+    elif isinstance(clause, TrueCondition):
+        conjuncts = []
+    else:
+        conjuncts = [clause]
+    birth_action = None
+    rest = []
+    for part in conjuncts:
+        if (birth_action is None
+                and isinstance(part, Compare) and part.op == "="
+                and isinstance(part.left, AttrRef)
+                and part.left.name == action_name
+                and isinstance(part.right, Literal)):
+            birth_action = str(part.right.raw)
+        else:
+            rest.append(part)
+    if birth_action is None:
+        raise BindError(
+            f"BIRTH FROM must contain a conjunct "
+            f"'{action_name} = <birth action>'")
+    return birth_action, conjoin(*rest)
+
+
+def _bind_select(parsed: ParsedCohortQuery,
+                 schema: ActivitySchema) -> list[AggregateSpec]:
+    aggregates: list[AggregateSpec] = []
+    for item in parsed.select_items:
+        if item.kind == "attr":
+            if item.name not in parsed.cohort_by:
+                raise BindError(
+                    f"SELECT attribute {item.name!r} must appear in "
+                    f"COHORT BY (got {parsed.cohort_by})")
+        elif item.kind == "agg":
+            if item.func not in AGGREGATE_FUNCTIONS:
+                raise BindError(f"unknown aggregate function {item.func!r}")
+            if item.column is not None and item.column not in schema:
+                raise BindError(f"unknown aggregate column {item.column!r}")
+            alias = item.alias or _default_alias(item.func, item.column,
+                                                 aggregates)
+            aggregates.append(AggregateSpec(item.func, item.column, alias))
+        # COHORTSIZE / AGE are implicit output columns; nothing to bind.
+    if not aggregates:
+        raise BindError("the SELECT list needs at least one aggregate "
+                        "(e.g. Sum(gold) or UserCount())")
+    return aggregates
+
+
+def _default_alias(func: str, column: str | None, existing) -> str:
+    base = f"{func.lower()}_{column}" if column else func.lower()
+    alias = base
+    suffix = 2
+    taken = {a.alias for a in existing}
+    while alias in taken:
+        alias = f"{base}_{suffix}"
+        suffix += 1
+    return alias
+
+
+# ---------------------------------------------------------------------------
+# Literal coercion
+# ---------------------------------------------------------------------------
+
+
+def _operand_type(operand: Operand,
+                  schema: ActivitySchema) -> LogicalType | None:
+    if isinstance(operand, (AttrRef, BirthRef)):
+        if operand.name not in schema:
+            raise BindError(f"unknown column {operand.name!r}")
+        return schema.column(operand.name).ltype
+    if isinstance(operand, AgeRef):
+        return LogicalType.INT
+    return None
+
+
+def _coerce_operand(operand: Operand, target: LogicalType | None) -> Operand:
+    if isinstance(operand, Literal) and target is not None:
+        return Literal(coerce_value(operand.raw, target))
+    return operand
+
+
+def _coerce_literals(cond: Condition,
+                     schema: ActivitySchema) -> Condition:
+    """Rebuild ``cond`` with literals coerced to compared-column types."""
+    if isinstance(cond, TrueCondition):
+        return cond
+    if isinstance(cond, Compare):
+        target = (_operand_type(cond.left, schema)
+                  or _operand_type(cond.right, schema))
+        return Compare(_coerce_operand(cond.left, target), cond.op,
+                       _coerce_operand(cond.right, target))
+    if isinstance(cond, Between):
+        target = _operand_type(cond.operand, schema)
+        return Between(_coerce_operand(cond.operand, target),
+                       _coerce_operand(cond.low, target),
+                       _coerce_operand(cond.high, target))
+    if isinstance(cond, InList):
+        target = _operand_type(cond.operand, schema)
+        if target is None:
+            return cond
+        return InList(cond.operand,
+                      tuple(coerce_value(v, target) for v in cond.values))
+    if isinstance(cond, And):
+        return And(tuple(_coerce_literals(p, schema) for p in cond.parts))
+    if isinstance(cond, Or):
+        return Or(tuple(_coerce_literals(p, schema) for p in cond.parts))
+    if isinstance(cond, Not):
+        return Not(_coerce_literals(cond.inner, schema))
+    raise BindError(f"cannot bind condition node {type(cond).__name__}")

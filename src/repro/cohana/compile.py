@@ -1,0 +1,239 @@
+"""Compiling condition ASTs to vectorized numpy masks.
+
+The COHANA executors evaluate conditions over *encoded* chunk columns:
+string columns stay as global dictionary ids. Because global dictionaries
+are sorted (Section 4.1), id order equals lexicographic order, so every
+comparison — including ranges — runs directly on the integer codes:
+
+* ``col = 'x'``  → ``codes == global_id('x')`` (or all-false if absent),
+* ``col < 'x'``  → ``codes < bisect_left(dict, 'x')``,
+* ``col IN [..]`` → ``np.isin(codes, present_ids)``,
+
+and so on. Two dictionary-encoded operands from the *same* column (e.g.
+``role = Birth(role)``) compare by code; operands from different columns
+fall back to decoded string comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.cohort.conditions import (
+    AgeRef,
+    And,
+    AttrRef,
+    Between,
+    BirthRef,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+    Not,
+    Operand,
+    Or,
+    TrueCondition,
+)
+from repro.storage.dictionary import GlobalDictionary
+
+
+class EvalContext:
+    """Arrays a condition is evaluated against.
+
+    Implementations provide per-row (or per-user) arrays; see
+    :class:`repro.cohana.vectorized` for the chunk-level context.
+    """
+
+    def rows(self) -> int:
+        raise NotImplementedError
+
+    def plain(self, name: str) -> np.ndarray:
+        """Per-row values of ``name`` (dictionary codes for strings)."""
+        raise NotImplementedError
+
+    def birth_value(self, name: str) -> np.ndarray:
+        """Per-row birth-tuple values of ``name`` (codes for strings)."""
+        raise NotImplementedError
+
+    def age(self) -> np.ndarray:
+        """Per-row normalized ages."""
+        raise NotImplementedError
+
+    def dictionary_for(self, name: str) -> GlobalDictionary | None:
+        """The column's global dictionary, if it is a string column."""
+        raise NotImplementedError
+
+
+@dataclass
+class _Resolved:
+    """A resolved operand: either a constant or an array (+ dictionary)."""
+
+    array: np.ndarray | None
+    literal: object = None
+    dictionary: GlobalDictionary | None = None
+    dict_name: str | None = None
+
+    @property
+    def is_literal(self) -> bool:
+        return self.array is None
+
+
+def _resolve(operand: Operand, ctx: EvalContext) -> _Resolved:
+    if isinstance(operand, Literal):
+        return _Resolved(array=None, literal=operand.raw)
+    if isinstance(operand, AttrRef):
+        return _Resolved(array=ctx.plain(operand.name),
+                         dictionary=ctx.dictionary_for(operand.name),
+                         dict_name=operand.name)
+    if isinstance(operand, BirthRef):
+        return _Resolved(array=ctx.birth_value(operand.name),
+                         dictionary=ctx.dictionary_for(operand.name),
+                         dict_name=operand.name)
+    if isinstance(operand, AgeRef):
+        return _Resolved(array=ctx.age())
+    raise ExecutionError(f"cannot resolve operand {operand!r}")
+
+
+def compile_mask(cond: Condition, ctx: EvalContext) -> np.ndarray:
+    """Evaluate ``cond`` over ``ctx``, returning a boolean row mask."""
+    n = ctx.rows()
+    if isinstance(cond, TrueCondition):
+        return np.ones(n, dtype=bool)
+    if isinstance(cond, And):
+        mask = np.ones(n, dtype=bool)
+        for part in cond.parts:
+            mask &= compile_mask(part, ctx)
+        return mask
+    if isinstance(cond, Or):
+        mask = np.zeros(n, dtype=bool)
+        for part in cond.parts:
+            mask |= compile_mask(part, ctx)
+        return mask
+    if isinstance(cond, Not):
+        return ~compile_mask(cond.inner, ctx)
+    if isinstance(cond, Compare):
+        return _compare(cond, ctx)
+    if isinstance(cond, Between):
+        return _between(cond, ctx)
+    if isinstance(cond, InList):
+        return _in_list(cond, ctx)
+    raise ExecutionError(f"cannot compile condition {type(cond).__name__}")
+
+
+# -- comparison dispatch -------------------------------------------------------
+
+_NUMERIC_OPS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _compare(cond: Compare, ctx: EvalContext) -> np.ndarray:
+    left = _resolve(cond.left, ctx)
+    right = _resolve(cond.right, ctx)
+    n = ctx.rows()
+    if left.is_literal and right.is_literal:
+        from repro.cohort.conditions import _COMPARATORS
+        value = bool(_COMPARATORS[cond.op](left.literal, right.literal))
+        return np.full(n, value, dtype=bool)
+    if left.is_literal:
+        return _compare(Compare(cond.right, _flip(cond.op), cond.left), ctx)
+    if right.is_literal:
+        return _array_vs_literal(left, cond.op, right.literal, n)
+    return _array_vs_array(left, cond.op, right)
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<",
+            ">=": "<="}[op]
+
+
+def _array_vs_literal(operand: _Resolved, op: str, literal,
+                      n: int) -> np.ndarray:
+    if operand.dictionary is None:
+        return _NUMERIC_OPS[op](operand.array, literal)
+    if not isinstance(literal, str):
+        raise ExecutionError(
+            f"cannot compare string column {operand.dict_name!r} with "
+            f"non-string literal {literal!r}")
+    values = operand.dictionary.values
+    codes = operand.array
+    if op == "=":
+        gid = operand.dictionary.global_id(literal)
+        if gid is None:
+            return np.zeros(n, dtype=bool)
+        return codes == gid
+    if op == "!=":
+        gid = operand.dictionary.global_id(literal)
+        if gid is None:
+            return np.ones(n, dtype=bool)
+        return codes != gid
+    # Ordered comparisons use the sorted-dictionary boundary trick.
+    if op == "<":
+        return codes < bisect.bisect_left(values, literal)
+    if op == "<=":
+        return codes < bisect.bisect_right(values, literal)
+    if op == ">":
+        return codes >= bisect.bisect_right(values, literal)
+    if op == ">=":
+        return codes >= bisect.bisect_left(values, literal)
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _array_vs_array(left: _Resolved, op: str,
+                    right: _Resolved) -> np.ndarray:
+    if (left.dictionary is not None and right.dictionary is not None
+            and left.dict_name != right.dict_name):
+        # Different dictionaries: codes are incomparable — decode.
+        lhs = left.dictionary.decode(left.array)
+        rhs = right.dictionary.decode(right.array)
+        return _object_compare(lhs, op, rhs)
+    if (left.dictionary is None) != (right.dictionary is None):
+        raise ExecutionError(
+            "cannot compare a string column with a numeric operand")
+    return _NUMERIC_OPS[op](left.array, right.array)
+
+
+def _object_compare(lhs: np.ndarray, op: str, rhs: np.ndarray) -> np.ndarray:
+    out = np.fromiter(
+        (_PY_OPS[op](a, b) for a, b in zip(lhs, rhs)),
+        dtype=bool, count=len(lhs))
+    return out
+
+
+_PY_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _between(cond: Between, ctx: EvalContext) -> np.ndarray:
+    low = Compare(cond.operand, ">=", cond.low)
+    high = Compare(cond.operand, "<=", cond.high)
+    return compile_mask(low, ctx) & compile_mask(high, ctx)
+
+
+def _in_list(cond: InList, ctx: EvalContext) -> np.ndarray:
+    operand = _resolve(cond.operand, ctx)
+    n = ctx.rows()
+    if operand.is_literal:
+        return np.full(n, operand.literal in cond.values, dtype=bool)
+    if operand.dictionary is None:
+        return np.isin(operand.array, np.asarray(list(cond.values)))
+    gids = [operand.dictionary.global_id(v) for v in cond.values
+            if isinstance(v, str)]
+    gids = [g for g in gids if g is not None]
+    if not gids:
+        return np.zeros(n, dtype=bool)
+    return np.isin(operand.array, np.asarray(gids, dtype=np.int64))

@@ -1,0 +1,144 @@
+"""The COHANA engine facade (Figure 4: parser, catalog, storage manager,
+query executor).
+
+Typical use::
+
+    engine = CohanaEngine()
+    engine.create_table("GameActions", activity_table)
+    result = engine.query('''
+        SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+        FROM GameActions
+        BIRTH FROM action = "launch" AND role = "dwarf"
+        AGE ACTIVITIES IN action = "shop"
+        COHORT BY country
+    ''')
+    print(result.to_text())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CatalogError
+from repro.cohana.binder import bind_cohort_query
+from repro.cohana.parser import parse_cohort_query
+from repro.cohana.planner import CohortPlan, plan_query
+from repro.cohana import iterator_executor, vectorized
+from repro.cohana.vectorized import ExecStats
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.storage import compress, load, save
+from repro.storage.reader import CompressedActivityTable
+from repro.storage.writer import DEFAULT_CHUNK_ROWS
+from repro.table import ActivityTable
+
+#: Executor registry: 'vectorized' is the default engine; 'iterator' is
+#: the faithful Algorithms 1-2 implementation (ablation / fidelity).
+EXECUTORS = {
+    "vectorized": vectorized.execute_plan,
+    "iterator": iterator_executor.execute_plan,
+}
+
+
+class CohanaEngine:
+    """A catalog of compressed activity tables plus the query pipeline."""
+
+    def __init__(self):
+        self._catalog: dict[str, CompressedActivityTable] = {}
+
+    # -- storage manager ------------------------------------------------------
+
+    def create_table(self, name: str, table: ActivityTable,
+                     target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                     ) -> CompressedActivityTable:
+        """Compress ``table`` and register it under ``name``."""
+        if name in self._catalog:
+            raise CatalogError(f"table {name!r} already exists")
+        compressed = compress(table, target_chunk_rows=target_chunk_rows)
+        self._catalog[name] = compressed
+        return compressed
+
+    def register(self, name: str,
+                 compressed: CompressedActivityTable) -> None:
+        """Register an already-compressed table."""
+        if name in self._catalog:
+            raise CatalogError(f"table {name!r} already exists")
+        self._catalog[name] = compressed
+
+    def drop_table(self, name: str) -> None:
+        """Remove ``name`` from the catalog."""
+        self.table(name)
+        del self._catalog[name]
+
+    def table(self, name: str) -> CompressedActivityTable:
+        """Look up a registered table."""
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._catalog)}"
+            ) from None
+
+    def tables(self) -> list[str]:
+        """All registered table names."""
+        return sorted(self._catalog)
+
+    def save_table(self, name: str, path: str | Path) -> int:
+        """Persist a table to a ``.cohana`` file; returns bytes written."""
+        return save(self.table(name), path)
+
+    def load_table(self, name: str, path: str | Path,
+                   ) -> CompressedActivityTable:
+        """Load a ``.cohana`` file and register it under ``name``."""
+        compressed = load(path)
+        self.register(name, compressed)
+        return compressed
+
+    # -- parser / binder -------------------------------------------------------
+
+    def parse(self, text: str, age_unit: str = "day",
+              time_bin_origin: int = 0) -> CohortQuery:
+        """Parse + bind a cohort query statement against its FROM table."""
+        parsed = parse_cohort_query(text)
+        schema = self.table(parsed.table).schema
+        return bind_cohort_query(parsed, schema, age_unit=age_unit,
+                                 time_bin_origin=time_bin_origin)
+
+    # -- query executor --------------------------------------------------------
+
+    def plan(self, query: CohortQuery | str, pushdown: bool = True,
+             prune: bool = True, **parse_kw) -> CohortPlan:
+        """Build the physical plan (push-down + pruning decisions)."""
+        if isinstance(query, str):
+            query = self.parse(query, **parse_kw)
+        return plan_query(query, self.table(query.table),
+                          pushdown=pushdown, prune=prune)
+
+    def query_with_stats(self, query: CohortQuery | str,
+                         executor: str = "vectorized",
+                         pushdown: bool = True, prune: bool = True,
+                         **parse_kw) -> tuple[CohortResult, ExecStats]:
+        """Execute and also return execution statistics."""
+        if isinstance(query, str):
+            query = self.parse(query, **parse_kw)
+        try:
+            run = EXECUTORS[executor]
+        except KeyError:
+            raise CatalogError(
+                f"unknown executor {executor!r}; "
+                f"have {sorted(EXECUTORS)}") from None
+        plan = plan_query(query, self.table(query.table),
+                          pushdown=pushdown, prune=prune)
+        return run(self.table(query.table), plan)
+
+    def query(self, query: CohortQuery | str,
+              executor: str = "vectorized", **kw) -> CohortResult:
+        """Execute a cohort query and return its result relation."""
+        result, _ = self.query_with_stats(query, executor=executor, **kw)
+        return result
+
+    def explain(self, query: CohortQuery | str, pushdown: bool = True,
+                prune: bool = True, **parse_kw) -> str:
+        """A textual plan description (EXPLAIN)."""
+        return self.plan(query, pushdown=pushdown, prune=prune,
+                         **parse_kw).describe()

@@ -1,0 +1,273 @@
+"""Parser for the paper's cohort query language (Section 3.4).
+
+Accepts statements of the form::
+
+    SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+    FROM GameActions
+    BIRTH FROM action = "launch" AND role = "dwarf"
+    AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+    COHORT BY country [UNIT week]
+
+The BIRTH FROM and AGE ACTIVITIES IN clauses may appear in either order
+(the paper: "the order ... is irrelevant") and both selection conditions
+are optional. Parsing is schema-independent; :mod:`repro.cohana.binder`
+resolves the result against a concrete activity schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import NUMBER, STRING, TokenStream, tokenize
+from repro.errors import ParseError
+from repro.cohort.conditions import (
+    AgeRef,
+    And,
+    Between,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+    Not,
+    Operand,
+    Or,
+    AttrRef,
+    BirthRef,
+    TrueCondition,
+)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the SELECT list.
+
+    kind is 'attr' (a cohort attribute), 'cohortsize', 'age' or 'agg'.
+    """
+
+    kind: str
+    name: str | None = None        # attr name for 'attr'
+    func: str | None = None        # aggregate function for 'agg'
+    column: str | None = None      # aggregate argument for 'agg'
+    alias: str | None = None
+
+
+@dataclass
+class ParsedCohortQuery:
+    """The raw parse of a cohort query, before schema binding."""
+
+    select_items: list[SelectItem]
+    table: str
+    birth_clause: Condition = field(default_factory=TrueCondition)
+    age_clause: Condition = field(default_factory=TrueCondition)
+    cohort_by: list[str] = field(default_factory=list)
+    cohort_time_bin: str | None = None
+
+
+def parse_cohort_query(text: str) -> ParsedCohortQuery:
+    """Parse a cohort query statement.
+
+    Raises:
+        ParseError: on any syntax error.
+    """
+    stream = TokenStream(tokenize(text))
+    stream.expect_keyword("SELECT")
+    select_items = _parse_select_list(stream)
+    stream.expect_keyword("FROM")
+    table = stream.expect_ident().text
+
+    birth_clause: Condition = TrueCondition()
+    age_clause: Condition = TrueCondition()
+    cohort_by: list[str] = []
+    time_bin: str | None = None
+    saw_birth = saw_age = saw_cohort = False
+    while not stream.at_end():
+        if stream.accept_symbol(";"):
+            break
+        if stream.peek_is_keyword("BIRTH"):
+            if saw_birth:
+                raise ParseError("duplicate BIRTH FROM clause",
+                                 stream.peek().position)
+            stream.next()
+            stream.expect_keyword("FROM")
+            birth_clause = _parse_condition(stream)
+            saw_birth = True
+        elif stream.peek_is_keyword("AGE"):
+            if saw_age:
+                raise ParseError("duplicate AGE ACTIVITIES clause",
+                                 stream.peek().position)
+            stream.next()
+            stream.expect_keyword("ACTIVITIES")
+            stream.expect_keyword("IN")
+            age_clause = _parse_condition(stream)
+            saw_age = True
+        elif stream.peek_is_keyword("COHORT"):
+            if saw_cohort:
+                raise ParseError("duplicate COHORT BY clause",
+                                 stream.peek().position)
+            stream.next()
+            stream.expect_keyword("BY")
+            cohort_by.append(stream.expect_ident().text)
+            while stream.accept_symbol(","):
+                cohort_by.append(stream.expect_ident().text)
+            if stream.accept_keyword("UNIT"):
+                time_bin = stream.expect_ident().text.lower()
+            saw_cohort = True
+        else:
+            token = stream.peek()
+            raise ParseError(
+                f"unexpected token {token.text!r}; expected BIRTH FROM, "
+                "AGE ACTIVITIES IN or COHORT BY", token.position)
+    if not saw_birth:
+        raise ParseError("cohort query requires a BIRTH FROM clause")
+    if not saw_cohort:
+        raise ParseError("cohort query requires a COHORT BY clause")
+    return ParsedCohortQuery(
+        select_items=select_items,
+        table=table,
+        birth_clause=birth_clause,
+        age_clause=age_clause,
+        cohort_by=cohort_by,
+        cohort_time_bin=time_bin,
+    )
+
+
+def _parse_select_list(stream: TokenStream) -> list[SelectItem]:
+    items = [_parse_select_item(stream)]
+    while stream.accept_symbol(","):
+        items.append(_parse_select_item(stream))
+    return items
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    token = stream.expect_ident()
+    upper = token.text.upper()
+    if upper == "COHORTSIZE":
+        return SelectItem(kind="cohortsize")
+    if upper == "AGE" and not (stream.peek().kind == "SYMBOL"
+                               and stream.peek().text == "("):
+        return SelectItem(kind="age")
+    if stream.accept_symbol("("):
+        column = None
+        if not stream.accept_symbol(")"):
+            if stream.accept_symbol("*"):
+                pass
+            else:
+                column = stream.expect_ident().text
+            stream.expect_symbol(")")
+        alias = None
+        if stream.accept_keyword("AS"):
+            alias = stream.expect_ident().text
+        func = "USERCOUNT" if upper == "USERCOUNT" else upper
+        return SelectItem(kind="agg", func=func, column=column, alias=alias)
+    return SelectItem(kind="attr", name=token.text)
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+def _parse_condition(stream: TokenStream) -> Condition:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Condition:
+    parts = [_parse_and(stream)]
+    while stream.accept_keyword("OR"):
+        parts.append(_parse_and(stream))
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+def _parse_and(stream: TokenStream) -> Condition:
+    parts = [_parse_unary(stream)]
+    while stream.accept_keyword("AND"):
+        parts.append(_parse_unary(stream))
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def _parse_unary(stream: TokenStream) -> Condition:
+    if stream.accept_keyword("NOT"):
+        return Not(_parse_unary(stream))
+    if stream.accept_symbol("("):
+        inner = _parse_condition(stream)
+        stream.expect_symbol(")")
+        return inner
+    return _parse_predicate(stream)
+
+
+def _parse_predicate(stream: TokenStream) -> Condition:
+    operand = _parse_operand(stream)
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_operand(stream)
+        stream.expect_keyword("AND")
+        high = _parse_operand(stream)
+        return Between(operand, low, high)
+    if stream.accept_keyword("IN"):
+        return InList(operand, tuple(_parse_literal_list(stream)))
+    token = stream.next()
+    if token.kind != "SYMBOL" or token.text not in ("=", "!=", "<", "<=",
+                                                    ">", ">="):
+        raise ParseError(f"expected a comparison operator, got "
+                         f"{token.text!r}", token.position)
+    right = _parse_operand(stream)
+    return Compare(operand, token.text, right)
+
+
+def _parse_operand(stream: TokenStream) -> Operand:
+    token = stream.peek()
+    if token.kind == "SYMBOL" and token.text == "-":
+        stream.next()
+        number = stream.next()
+        if number.kind != NUMBER:
+            raise ParseError("expected a number after unary minus",
+                             number.position)
+        value = float(number.text) if "." in number.text \
+            else int(number.text)
+        return Literal(-value)
+    if token.kind == NUMBER:
+        stream.next()
+        value = float(token.text) if "." in token.text else int(token.text)
+        return Literal(value)
+    if token.kind == STRING:
+        stream.next()
+        return Literal(token.text)
+    if token.matches_keyword("AGE"):
+        stream.next()
+        return AgeRef()
+    if token.matches_keyword("BIRTH") and stream.peek(1).text == "(":
+        stream.next()
+        stream.expect_symbol("(")
+        name = stream.expect_ident().text
+        stream.expect_symbol(")")
+        return BirthRef(name)
+    ident = stream.expect_ident()
+    return AttrRef(ident.text)
+
+
+def _parse_literal_list(stream: TokenStream) -> list:
+    open_token = stream.next()
+    if open_token.text not in ("[", "("):
+        raise ParseError(f"expected a literal list, got "
+                         f"{open_token.text!r}", open_token.position)
+    closer = "]" if open_token.text == "[" else ")"
+    values = []
+    if not stream.accept_symbol(closer):
+        values.append(_expect_literal(stream))
+        while stream.accept_symbol(","):
+            values.append(_expect_literal(stream))
+        stream.expect_symbol(closer)
+    return values
+
+
+def _expect_literal(stream: TokenStream):
+    token = stream.next()
+    if token.kind == NUMBER:
+        return float(token.text) if "." in token.text else int(token.text)
+    if token.kind == STRING:
+        return token.text
+    raise ParseError(f"expected a literal, got {token.text!r}",
+                     token.position)

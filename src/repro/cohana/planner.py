@@ -1,0 +1,177 @@
+"""Query planning for COHANA (Section 4.2).
+
+The logical plan of a cohort query is the fixed operator chain
+``TableScan → σ^b → σ^g → γ^c`` (Figure 5). Planning decides:
+
+* **push-down** — birth selections are always evaluated below age
+  selections (Equation 1 makes this safe), letting the scan skip every
+  tuple of unqualified users;
+* **chunk pruning** — the birth action's global id is looked up once; any
+  chunk whose action chunk-dictionary lacks it is skipped, and any chunk
+  whose time range misses the birth condition's time bounds is skipped
+  (a user's tuples live in one chunk, so its birth tuple does too);
+* **column pruning** — only columns referenced by the query are decoded.
+
+One deliberate deviation from Section 4.1's prose: the paper also prunes
+chunks via *age*-selection ranges. We restrict range pruning to the
+*birth* condition, because a chunk with no in-range age tuples still
+contributes its users to cohort sizes (birth tuples are always retained
+by σ^g, and cohort sizes span chunks), so skipping it would under-count
+``COHORTSIZE``. Birth-condition pruning is always safe: a user's birth
+tuple lives in the same chunk as the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cohort.conditions import (
+    And,
+    AttrRef,
+    Between,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+)
+from repro.cohort.query import CohortQuery
+from repro.schema import ActivitySchema, ColumnRole
+from repro.storage.reader import CompressedActivityTable
+
+
+@dataclass(frozen=True)
+class CohortPlan:
+    """A planned cohort query, ready for execution.
+
+    Attributes:
+        query: the validated cohort query.
+        birth_action_gid: global id of the birth action, or None when the
+            action appears nowhere in the table (empty result).
+        time_low, time_high: birth-time bounds extracted from the birth
+            condition for chunk pruning (None = unbounded).
+        columns: every non-user column the executors must decode.
+        pushdown: evaluate σ^b before σ^g (the paper's optimization).
+        prune: skip chunks via action dictionaries / time ranges.
+    """
+
+    query: CohortQuery
+    birth_action_gid: int | None
+    time_low: int | None
+    time_high: int | None
+    columns: tuple[str, ...]
+    pushdown: bool = True
+    prune: bool = True
+
+    def describe(self) -> str:
+        """A human-readable plan, in the spirit of EXPLAIN."""
+        q = self.query
+        lines = [
+            f"CohortAggregate(L={list(q.cohort_by)}, e={q.birth_action!r}, "
+            f"f={[str(a) for a in q.aggregates]})",
+            f"  AgeSelect({q.age_condition})",
+            f"  BirthSelect({q.birth_condition}) "
+            f"[{'pushed below age selection' if self.pushdown else 'not pushed'}]",
+            f"  TableScan(columns={list(self.columns)}, "
+            f"prune={'on' if self.prune else 'off'}, "
+            f"birth_gid={self.birth_action_gid}, "
+            f"time_range=[{self.time_low}, {self.time_high}])",
+        ]
+        return "\n".join(lines)
+
+
+def plan_query(query: CohortQuery, table: CompressedActivityTable,
+               pushdown: bool = True, prune: bool = True) -> CohortPlan:
+    """Build the physical plan for ``query`` over ``table``."""
+    schema = table.schema
+    query.validate(schema)
+    gid = table.global_id(schema.action.name, query.birth_action)
+    low, high = extract_time_bounds(query.birth_condition,
+                                    schema.time.name)
+    return CohortPlan(
+        query=query,
+        birth_action_gid=gid,
+        time_low=low,
+        time_high=high,
+        columns=tuple(required_columns(query, schema)),
+        pushdown=pushdown,
+        prune=prune,
+    )
+
+
+def required_columns(query: CohortQuery,
+                     schema: ActivitySchema) -> list[str]:
+    """The non-user columns a cohort query touches, in schema order."""
+    needed = {schema.time.name, schema.action.name}
+    needed.update(query.cohort_by)
+    for cond in (query.birth_condition, query.age_condition):
+        needed.update(cond.plain_attributes())
+        needed.update(cond.birth_attributes())
+    for agg in query.aggregates:
+        if agg.column:
+            needed.add(agg.column)
+    needed.discard(schema.user.name)
+    return [c.name for c in schema
+            if c.name in needed and c.role is not ColumnRole.USER]
+
+
+def extract_time_bounds(condition: Condition,
+                        time_column: str) -> tuple[int | None, int | None]:
+    """Derive conservative [low, high] birth-time bounds from a birth
+    condition's top-level conjuncts.
+
+    Only conjunctive constraints are used (a disjunction could admit
+    births outside any single bound). The bounds are *necessary*
+    conditions, so pruning with them never drops qualifying chunks.
+    """
+    conjuncts = condition.parts if isinstance(condition, And) else (
+        condition,)
+    low: int | None = None
+    high: int | None = None
+
+    def tighten(new_low, new_high):
+        nonlocal low, high
+        if new_low is not None:
+            low = new_low if low is None else max(low, new_low)
+        if new_high is not None:
+            high = new_high if high is None else min(high, new_high)
+
+    for part in conjuncts:
+        if isinstance(part, Between) and _is_time_attr(part.operand,
+                                                       time_column):
+            if isinstance(part.low, Literal) and isinstance(part.high,
+                                                            Literal):
+                tighten(int(part.low.raw), int(part.high.raw))
+        elif isinstance(part, Compare):
+            bounds = _compare_bounds(part, time_column)
+            if bounds is not None:
+                tighten(*bounds)
+        elif isinstance(part, InList) and _is_time_attr(part.operand,
+                                                        time_column):
+            if part.values:
+                tighten(int(min(part.values)), int(max(part.values)))
+    return low, high
+
+
+def _is_time_attr(operand, time_column: str) -> bool:
+    return isinstance(operand, AttrRef) and operand.name == time_column
+
+
+def _compare_bounds(part: Compare, time_column: str):
+    if _is_time_attr(part.left, time_column) and isinstance(part.right,
+                                                            Literal):
+        value = int(part.right.raw)
+        op = part.op
+    elif _is_time_attr(part.right, time_column) and isinstance(part.left,
+                                                               Literal):
+        value = int(part.left.raw)
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+              "!=": "!="}[part.op]
+    else:
+        return None
+    if op == "=":
+        return (value, value)
+    if op in ("<", "<="):
+        return (None, value)
+    if op in (">", ">="):
+        return (value, None)
+    return None

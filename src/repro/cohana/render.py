@@ -1,0 +1,120 @@
+"""Rendering bound cohort queries back to the query language.
+
+The inverse of parse+bind (up to formatting): useful for logging, for
+EXPLAIN-style tooling, and as a strong parser test — the round-trip
+``bind(parse(render(q))) == q`` holds for every valid query and is
+property-tested in ``tests/test_render.py``.
+
+Timestamp literals are rendered as raw epoch integers, which the binder
+coerces back losslessly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.cohort.conditions import (
+    AgeRef,
+    And,
+    AttrRef,
+    Between,
+    BirthRef,
+    Compare,
+    Condition,
+    InList,
+    Literal,
+    Not,
+    Operand,
+    Or,
+    TrueCondition,
+)
+from repro.cohort.query import CohortQuery
+
+
+def render_operand(operand: Operand) -> str:
+    """One comparison operand in query-language syntax."""
+    if isinstance(operand, Literal):
+        return render_literal(operand.raw)
+    if isinstance(operand, AttrRef):
+        return operand.name
+    if isinstance(operand, BirthRef):
+        return f"Birth({operand.name})"
+    if isinstance(operand, AgeRef):
+        return "AGE"
+    raise QueryError(f"cannot render operand {operand!r}")
+
+
+def render_literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace('"', '""')
+        return f'"{escaped}"'
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def render_condition(cond: Condition) -> str:
+    """A condition in query-language syntax (fully parenthesized where
+    nesting requires it)."""
+    if isinstance(cond, TrueCondition):
+        raise QueryError("TrueCondition has no surface syntax; omit the "
+                         "clause instead")
+    if isinstance(cond, Compare):
+        return (f"{render_operand(cond.left)} {cond.op} "
+                f"{render_operand(cond.right)}")
+    if isinstance(cond, Between):
+        return (f"{render_operand(cond.operand)} BETWEEN "
+                f"{render_operand(cond.low)} AND "
+                f"{render_operand(cond.high)}")
+    if isinstance(cond, InList):
+        inner = ", ".join(render_literal(v) for v in cond.values)
+        return f"{render_operand(cond.operand)} IN [{inner}]"
+    if isinstance(cond, And):
+        return " AND ".join(_wrap(p) for p in cond.parts)
+    if isinstance(cond, Or):
+        return " OR ".join(_wrap(p) for p in cond.parts)
+    if isinstance(cond, Not):
+        return f"NOT {_wrap(cond.inner)}"
+    raise QueryError(f"cannot render condition {cond!r}")
+
+
+def _wrap(cond: Condition) -> str:
+    text = render_condition(cond)
+    if isinstance(cond, (And, Or)):
+        return f"({text})"
+    return text
+
+
+def render_query(query: CohortQuery, action_column: str = "action") -> str:
+    """A complete cohort query statement for ``query``.
+
+    Args:
+        action_column: name of the Ae column (the BIRTH FROM clause
+            spells the birth action as ``<action_column> = <e>``).
+    """
+    if query.table is None:
+        raise QueryError("query has no table name to render FROM")
+    select = list(query.cohort_by) + ["COHORTSIZE", "AGE"]
+    for agg in query.aggregates:
+        if agg.func == "USERCOUNT":
+            call = "UserCount()"
+        elif agg.column is None:
+            call = f"{agg.func.capitalize()}(*)"
+        else:
+            call = f"{agg.func.capitalize()}({agg.column})"
+        select.append(f"{call} AS {agg.alias}")
+    birth = f"{action_column} = {render_literal(query.birth_action)}"
+    if not isinstance(query.birth_condition, TrueCondition):
+        # _wrap keeps an OR condition grouped under the implicit AND
+        # with the action conjunct.
+        birth += f" AND {_wrap(query.birth_condition)}"
+    lines = [
+        f"SELECT {', '.join(select)}",
+        f"FROM {query.table}",
+        f"BIRTH FROM {birth}",
+    ]
+    if not isinstance(query.age_condition, TrueCondition):
+        lines.append("AGE ACTIVITIES IN "
+                     f"{render_condition(query.age_condition)}")
+    cohort = f"COHORT BY {', '.join(query.cohort_by)}"
+    lines.append(f"{cohort} UNIT {query.cohort_time_bin}")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""The modified TableScan operator (Section 4.3).
+
+A standard columnar TableScan augmented with the two functions the paper
+adds for cohort processing:
+
+* :meth:`ChunkScan.get_next_user` — position at the next user's activity
+  tuple block, returning its RLE triple ``(u, f, n)``;
+* :meth:`ChunkScan.skip_cur_user` — advance every column's cursor past the
+  current user's remaining tuples in O(1).
+
+Row values are decoded on demand via the encoders' random-access reads —
+the ability the fixed-width bit packing exists to provide. A
+:class:`LazyRow` behaves like a ``{column: value}`` mapping so the same
+:class:`~repro.cohort.Condition` AST used by the oracle evaluates directly
+against compressed data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import ExecutionError
+from repro.schema import ColumnRole, LogicalType
+from repro.storage.chunk import Chunk
+from repro.storage.dictionary import DictEncodedColumn
+from repro.storage.reader import CompressedActivityTable
+
+
+class LazyRow(Mapping):
+    """A read-only row view decoding column values on first access."""
+
+    def __init__(self, scan: "ChunkScan", position: int, user: str):
+        self._scan = scan
+        self._position = position
+        self._user = user
+        self._cache: dict[str, object] = {}
+
+    def __getitem__(self, name: str):
+        if name == self._scan.user_column:
+            return self._user
+        if name not in self._cache:
+            self._cache[name] = self._scan.decode_value(name,
+                                                        self._position)
+        return self._cache[name]
+
+    def __iter__(self):
+        return iter(self._scan.schema.names())
+
+    def __len__(self):
+        return len(self._scan.schema)
+
+    @property
+    def position(self) -> int:
+        """Row position within the chunk."""
+        return self._position
+
+
+class ChunkScan:
+    """Scan one compressed chunk user-block by user-block."""
+
+    def __init__(self, table: CompressedActivityTable, chunk: Chunk):
+        self._table = table
+        self._chunk = chunk
+        self.schema = table.schema
+        self.user_column = self.schema.user.name
+        self._n_runs = chunk.users.n_users
+        self._run = -1
+        self._pos = 0
+        self._run_end = 0
+        self._current_user: str | None = None
+        self._current_gid: int | None = None
+
+    # -- user block navigation ----------------------------------------------
+
+    def has_more_users(self) -> bool:
+        """More user blocks left in this chunk?"""
+        return self._run + 1 < self._n_runs
+
+    def get_next_user(self) -> tuple[int, int, int]:
+        """Advance to the next user's block; returns its (u, f, n) triple.
+
+        ``u`` is the user's global id; the scan's cursor moves to ``f``.
+        """
+        if not self.has_more_users():
+            raise ExecutionError("no more users in chunk")
+        self._run += 1
+        gid, first, count = self._chunk.users.triple(self._run)
+        self._pos = first
+        self._run_end = first + count
+        self._current_gid = gid
+        self._current_user = self._table.user_name(gid)
+        return gid, first, count
+
+    def skip_cur_user(self) -> int:
+        """Skip the current user's remaining tuples; returns how many."""
+        remaining = self._run_end - self._pos
+        self._pos = self._run_end
+        return remaining
+
+    # -- tuple access -----------------------------------------------------------
+
+    def get_next(self) -> LazyRow | None:
+        """The next tuple of the *current user*, or None at block end."""
+        if self._run < 0:
+            raise ExecutionError("call get_next_user() before get_next()")
+        if self._pos >= self._run_end:
+            return None
+        row = LazyRow(self, self._pos, self._current_user)
+        self._pos += 1
+        return row
+
+    def peek_block_rows(self) -> Iterator[LazyRow]:
+        """Iterate the current user's whole block without consuming it."""
+        gid, first, count = self._chunk.users.triple(self._run)
+        for pos in range(first, first + count):
+            yield LazyRow(self, pos, self._current_user)
+
+    def rewind_current_user(self) -> None:
+        """Reset the cursor to the start of the current user's block."""
+        _, first, _ = self._chunk.users.triple(self._run)
+        self._pos = first
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode_value(self, name: str, position: int):
+        """Random-access decode of one cell (no neighbouring decode)."""
+        spec = self.schema.column(name)
+        if spec.role is ColumnRole.USER:
+            return self._current_user
+        column = self._chunk.column(name)
+        if isinstance(column, DictEncodedColumn):
+            return self._table.value_of(name, column.global_id_at(position))
+        return column.value_at(position)
+
+    def action_gid_at(self, position: int) -> int:
+        """The action column's global id at ``position`` (no decode)."""
+        column = self._chunk.column(self.schema.action.name)
+        return column.global_id_at(position)

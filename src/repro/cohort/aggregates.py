@@ -1,0 +1,195 @@
+"""Aggregate functions for cohort aggregation (the ``fA`` of Definition 6).
+
+Supported functions: ``SUM``, ``AVG``, ``COUNT``, ``MIN``, ``MAX`` over a
+measure column, plus ``USERCOUNT`` — the paper's retention aggregate
+(Section 4.5) counting *distinct users* with at least one qualifying age
+activity tuple in the (cohort, age) bucket.
+
+Accumulators are streaming (add one tuple at a time) and mergeable, which
+is exactly what per-chunk execution needs: each chunk folds its tuples into
+a private accumulator and the engine merges the partial states. The
+``USERCOUNT`` merge exploits the storage invariant that a user's tuples
+never span chunks, so per-chunk distinct counts simply add up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+AGGREGATE_FUNCTIONS = ("SUM", "AVG", "COUNT", "MIN", "MAX", "USERCOUNT")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in a cohort query's SELECT list.
+
+    Attributes:
+        func: one of :data:`AGGREGATE_FUNCTIONS`.
+        column: the measure column, or None for COUNT / USERCOUNT.
+        alias: output column name.
+    """
+
+    func: str
+    column: str | None
+    alias: str
+
+    def __post_init__(self):
+        func = self.func.upper()
+        object.__setattr__(self, "func", func)
+        if func not in AGGREGATE_FUNCTIONS:
+            raise QueryError(f"unknown aggregate function {self.func!r}; "
+                             f"supported: {AGGREGATE_FUNCTIONS}")
+        if func in ("SUM", "AVG", "MIN", "MAX") and not self.column:
+            raise QueryError(f"{func} requires a measure column")
+
+    @property
+    def needs_column(self) -> bool:
+        return self.func in ("SUM", "AVG", "MIN", "MAX")
+
+    def __str__(self):
+        if self.func == "USERCOUNT":
+            return "UserCount()"
+        return f"{self.func.capitalize()}({self.column or '*'})"
+
+
+class Accumulator:
+    """Streaming, mergeable aggregate state for one (cohort, age) bucket."""
+
+    def add(self, value, user) -> None:
+        """Fold one qualifying age activity tuple into the state.
+
+        Args:
+            value: the measure value (ignored by COUNT / USERCOUNT).
+            user: the tuple's user id (only USERCOUNT uses it).
+        """
+        raise NotImplementedError
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another partial state (e.g. from another chunk) in."""
+        raise NotImplementedError
+
+    def result(self):
+        """The final aggregate value."""
+        raise NotImplementedError
+
+
+class SumAccumulator(Accumulator):
+    def __init__(self):
+        self.total = 0
+
+    def add(self, value, user):
+        self.total += value
+
+    def merge(self, other):
+        self.total += other.total
+
+    def result(self):
+        return self.total
+
+
+class CountAccumulator(Accumulator):
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value, user):
+        self.count += 1
+
+    def merge(self, other):
+        self.count += other.count
+
+    def result(self):
+        return self.count
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self):
+        self.total = 0
+        self.count = 0
+
+    def add(self, value, user):
+        self.total += value
+        self.count += 1
+
+    def merge(self, other):
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value, user):
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def merge(self, other):
+        if other.value is not None:
+            self.add(other.value, None)
+
+    def result(self):
+        return self.value
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value, user):
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def merge(self, other):
+        if other.value is not None:
+            self.add(other.value, None)
+
+    def result(self):
+        return self.value
+
+
+class UserCountAccumulator(Accumulator):
+    """Distinct-user count.
+
+    Within one chunk (or the whole table for the oracle) the state is an
+    exact set of user ids. :meth:`merge` adds cardinalities — only valid
+    when the operand states saw disjoint user populations, which the
+    chunking invariant guarantees (Section 4.5).
+    """
+
+    def __init__(self):
+        self.users: set = set()
+        self._merged = 0
+
+    def add(self, value, user):
+        self.users.add(user)
+
+    def merge(self, other):
+        self._merged += len(other.users) + other._merged
+
+    def result(self):
+        return len(self.users) + self._merged
+
+
+_FACTORIES = {
+    "SUM": SumAccumulator,
+    "AVG": AvgAccumulator,
+    "COUNT": CountAccumulator,
+    "MIN": MinAccumulator,
+    "MAX": MaxAccumulator,
+    "USERCOUNT": UserCountAccumulator,
+}
+
+
+def make_accumulator(func: str) -> Accumulator:
+    """Create a fresh accumulator for ``func``."""
+    try:
+        return _FACTORIES[func.upper()]()
+    except KeyError:
+        raise QueryError(f"unknown aggregate function {func!r}") from None

@@ -1,0 +1,100 @@
+"""Core cohort concepts: birth time, birth tuple, age (Definitions 1-3).
+
+These are straightforward row-level computations over an
+:class:`~repro.table.ActivityTable`, used directly by the oracle operators
+and indirectly (as the specification) by every engine.
+
+Age normalization
+-----------------
+Definition 3 gives the raw age ``g = d[At] − t^{i,e}`` in seconds; the
+paper normalizes it "by a certain time unit such as a day, week or month".
+Following the paper's running example — tuple ``t2`` (22 hours after
+birth) has *age 1* in days, and lands in the *week 1* sub-partition in
+Table 3 — a positive raw age is normalized with a ceiling::
+
+    age_units = ceil(raw_seconds / unit_seconds)
+
+so activities in the first unit after birth have age 1, in the second
+age 2, and so on. The birth instant itself has age 0 and negative raw ages
+stay negative.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.schema import TIME_UNIT_SECONDS
+from repro.table import ActivityTable
+
+#: Birth time of users that never performed the birth action
+#: (Definition 1's "-1 otherwise").
+NEVER_BORN = -1
+
+
+def birth_times(table: ActivityTable, birth_action: str) -> dict[str, int]:
+    """Definition 1: each user's birth time for ``birth_action``.
+
+    Returns a mapping of every user in ``table`` to the minimum time at
+    which they performed the birth action, or :data:`NEVER_BORN`.
+    """
+    user_col = table.users
+    time_col = table.times
+    action_col = table.actions
+    births: dict[str, int] = {}
+    for i in range(len(table)):
+        user = user_col[i]
+        births.setdefault(user, NEVER_BORN)
+        if action_col[i] == birth_action:
+            t = int(time_col[i])
+            if births[user] == NEVER_BORN or t < births[user]:
+                births[user] = t
+    return births
+
+
+def birth_tuples(table: ActivityTable,
+                 birth_action: str) -> dict[str, dict]:
+    """Definition 2: each born user's birth activity tuple (as a row dict).
+
+    The primary key guarantees at most one tuple per (user, time, action),
+    so the birth tuple is unique.
+    """
+    births = birth_times(table, birth_action)
+    result: dict[str, dict] = {}
+    time_name = table.schema.time.name
+    user_name = table.schema.user.name
+    action_name = table.schema.action.name
+    for i in range(len(table)):
+        row = table.row(i)
+        user = row[user_name]
+        if (births.get(user, NEVER_BORN) != NEVER_BORN
+                and row[time_name] == births[user]
+                and row[action_name] == birth_action
+                and user not in result):
+            result[user] = row
+    return result
+
+
+def normalize_age(raw_seconds: int, unit: str = "day") -> int:
+    """Normalize a raw age (seconds since birth) into age units.
+
+    * ``0`` for the birth instant,
+    * ``ceil(raw / unit)`` for positive raw ages (first unit == age 1),
+    * negative for pre-birth activities (never aggregated).
+    """
+    unit_seconds = TIME_UNIT_SECONDS[unit]
+    if raw_seconds == 0:
+        return 0
+    if raw_seconds > 0:
+        return math.ceil(raw_seconds / unit_seconds)
+    return -math.ceil(-raw_seconds / unit_seconds)
+
+
+def bin_time(timestamp: int, unit: str = "week", origin: int = 0) -> int:
+    """Floor ``timestamp`` to the start of its time bin.
+
+    Used to label time-based cohorts (e.g. weekly launch cohorts). Bins of
+    ``unit`` seconds are aligned to ``origin`` (epoch-aligned by default;
+    pass the dataset's first day to reproduce the paper's Table 3 labels).
+    """
+    unit_seconds = TIME_UNIT_SECONDS[unit]
+    return origin + ((timestamp - origin) // unit_seconds) * unit_seconds

@@ -1,0 +1,387 @@
+"""Condition ASTs for birth and age selection (Definitions 4 and 5).
+
+A condition is a propositional formula over comparisons whose operands are
+
+* plain attribute references (``country = 'Australia'``),
+* ``Birth(attr)`` references — the attribute value of the *birth* activity
+  tuple of the row's user (Section 3.3.2),
+* ``AGE`` — the row's normalized age (only meaningful in age selections),
+* literals.
+
+The same AST is shared by every evaluation scheme in the library: the
+row-at-a-time oracle evaluates it with :meth:`Condition.evaluate_row`; the
+COHANA engine compiles it to vectorized numpy masks; the baseline schemes
+translate it to SQL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import QueryError
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+class Operand:
+    """Base class for comparison operands."""
+
+    def value(self, row: Mapping, birth_row: Mapping | None, age):
+        raise NotImplementedError
+
+    def plain_attributes(self) -> set[str]:
+        """Attributes read from the row itself."""
+        return set()
+
+    def birth_attributes(self) -> set[str]:
+        """Attributes read through ``Birth()``."""
+        return set()
+
+    def uses_age(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class AttrRef(Operand):
+    """A plain column reference."""
+
+    name: str
+
+    def value(self, row, birth_row, age):
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(f"row has no attribute {self.name!r}") from None
+
+    def plain_attributes(self):
+        return {self.name}
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class BirthRef(Operand):
+    """``Birth(attr)`` — the user's birth-tuple value of ``attr``."""
+
+    name: str
+
+    def value(self, row, birth_row, age):
+        if birth_row is None:
+            raise QueryError(
+                f"Birth({self.name}) evaluated without a birth tuple")
+        try:
+            return birth_row[self.name]
+        except KeyError:
+            raise QueryError(
+                f"birth tuple has no attribute {self.name!r}") from None
+
+    def birth_attributes(self):
+        return {self.name}
+
+    def __str__(self):
+        return f"Birth({self.name})"
+
+
+@dataclass(frozen=True)
+class AgeRef(Operand):
+    """``AGE`` — the row's normalized age relative to the user's birth."""
+
+    def value(self, row, birth_row, age):
+        if age is None:
+            raise QueryError("AGE referenced outside an age selection")
+        return age
+
+    def uses_age(self):
+        return True
+
+    def __str__(self):
+        return "AGE"
+
+
+@dataclass(frozen=True)
+class Literal(Operand):
+    """A constant."""
+
+    raw: object
+
+    def value(self, row, birth_row, age):
+        return self.raw
+
+    def __str__(self):
+        if isinstance(self.raw, str):
+            return f"'{self.raw}'"
+        return str(self.raw)
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class for boolean conditions."""
+
+    def evaluate_row(self, row: Mapping, birth_row: Mapping | None = None,
+                     age=None) -> bool:
+        """Evaluate against one activity tuple.
+
+        Args:
+            row: the tuple's ``{column: value}`` mapping.
+            birth_row: the user's birth tuple (needed by ``Birth()``).
+            age: the tuple's normalized age (needed by ``AGE``).
+        """
+        raise NotImplementedError
+
+    def plain_attributes(self) -> set[str]:
+        raise NotImplementedError
+
+    def birth_attributes(self) -> set[str]:
+        raise NotImplementedError
+
+    def uses_age(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The always-true condition (an omitted optional clause)."""
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        return True
+
+    def plain_attributes(self):
+        return set()
+
+    def birth_attributes(self):
+        return set()
+
+    def uses_age(self):
+        return False
+
+    def __str__(self):
+        return "TRUE"
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Condition):
+    """A binary comparison ``left op right``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self):
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        lhs = self.left.value(row, birth_row, age)
+        rhs = self.right.value(row, birth_row, age)
+        return bool(_COMPARATORS[self.op](lhs, rhs))
+
+    def plain_attributes(self):
+        return self.left.plain_attributes() | self.right.plain_attributes()
+
+    def birth_attributes(self):
+        return self.left.birth_attributes() | self.right.birth_attributes()
+
+    def uses_age(self):
+        return self.left.uses_age() or self.right.uses_age()
+
+    def __str__(self):
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Condition):
+    """``operand BETWEEN low AND high`` (inclusive on both ends)."""
+
+    operand: Operand
+    low: Operand
+    high: Operand
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        v = self.operand.value(row, birth_row, age)
+        return bool(self.low.value(row, birth_row, age) <= v
+                    <= self.high.value(row, birth_row, age))
+
+    def plain_attributes(self):
+        return (self.operand.plain_attributes()
+                | self.low.plain_attributes()
+                | self.high.plain_attributes())
+
+    def birth_attributes(self):
+        return (self.operand.birth_attributes()
+                | self.low.birth_attributes()
+                | self.high.birth_attributes())
+
+    def uses_age(self):
+        return (self.operand.uses_age() or self.low.uses_age()
+                or self.high.uses_age())
+
+    def __str__(self):
+        return f"{self.operand} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Condition):
+    """``operand IN [v1, v2, ...]``."""
+
+    operand: Operand
+    values: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        return self.operand.value(row, birth_row, age) in self.values
+
+    def plain_attributes(self):
+        return self.operand.plain_attributes()
+
+    def birth_attributes(self):
+        return self.operand.birth_attributes()
+
+    def uses_age(self):
+        return self.operand.uses_age()
+
+    def __str__(self):
+        inner = ", ".join(str(Literal(v)) for v in self.values)
+        return f"{self.operand} IN [{inner}]"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of sub-conditions."""
+
+    parts: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        return all(p.evaluate_row(row, birth_row, age) for p in self.parts)
+
+    def plain_attributes(self):
+        return set().union(*(p.plain_attributes() for p in self.parts),
+                           set())
+
+    def birth_attributes(self):
+        return set().union(*(p.birth_attributes() for p in self.parts),
+                           set())
+
+    def uses_age(self):
+        return any(p.uses_age() for p in self.parts)
+
+    def __str__(self):
+        return " AND ".join(
+            f"({p})" if isinstance(p, Or) else str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of sub-conditions."""
+
+    parts: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        return any(p.evaluate_row(row, birth_row, age) for p in self.parts)
+
+    def plain_attributes(self):
+        return set().union(*(p.plain_attributes() for p in self.parts),
+                           set())
+
+    def birth_attributes(self):
+        return set().union(*(p.birth_attributes() for p in self.parts),
+                           set())
+
+    def uses_age(self):
+        return any(p.uses_age() for p in self.parts)
+
+    def __str__(self):
+        return " OR ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation."""
+
+    inner: Condition
+
+    def evaluate_row(self, row, birth_row=None, age=None):
+        return not self.inner.evaluate_row(row, birth_row, age)
+
+    def plain_attributes(self):
+        return self.inner.plain_attributes()
+
+    def birth_attributes(self):
+        return self.inner.birth_attributes()
+
+    def uses_age(self):
+        return self.inner.uses_age()
+
+    def __str__(self):
+        return f"NOT ({self.inner})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def attr(name: str) -> AttrRef:
+    """Shorthand for :class:`AttrRef`."""
+    return AttrRef(name)
+
+
+def birth(name: str) -> BirthRef:
+    """Shorthand for :class:`BirthRef` (the paper's ``Birth()``)."""
+    return BirthRef(name)
+
+
+def age_ref() -> AgeRef:
+    """Shorthand for :class:`AgeRef` (the ``AGE`` keyword)."""
+    return AgeRef()
+
+
+def lit(value) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def eq(column: str, value) -> Compare:
+    """``column = value``."""
+    return Compare(attr(column), "=", lit(value))
+
+
+def conjoin(*conditions: Condition) -> Condition:
+    """AND together conditions, dropping TrueConditions; () -> TRUE."""
+    parts = [c for c in conditions if not isinstance(c, TrueCondition)]
+    if not parts:
+        return TrueCondition()
+    if len(parts) == 1:
+        return parts[0]
+    flattened: list[Condition] = []
+    for p in parts:
+        if isinstance(p, And):
+            flattened.extend(p.parts)
+        else:
+            flattened.append(p)
+    return And(tuple(flattened))

@@ -1,0 +1,163 @@
+"""Cohort query results: a small relational table plus report helpers.
+
+The cohort aggregation operator "takes an activity table D as input and
+produces a normal relational table R as output" (Section 3.3.3); this is
+that table. :meth:`CohortResult.pivot` reshapes it into the classic
+cohort report (the paper's Table 3 / Figure 1): one row per cohort with
+its size, one column per age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass
+class CohortResult:
+    """An ordered relation of (cohort attrs..., cohort_size, age, measures).
+
+    Attributes:
+        columns: output column names.
+        rows: result tuples, one per (cohort, age) bucket with a positive
+            age, sorted by (cohort, age).
+        n_cohort_columns: how many leading columns identify the cohort.
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    n_cohort_columns: int = 1
+
+    def __post_init__(self):
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise QueryError(
+                    f"result row has {len(row)} values for "
+                    f"{len(self.columns)} columns")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"no result column {name!r}; "
+                             f"have {self.columns}") from None
+
+    def column_values(self, name: str) -> list:
+        """All values of one output column."""
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def sorted(self) -> "CohortResult":
+        """A copy sorted by (cohort key..., age) — the canonical order."""
+        age_idx = self.column_index("age")
+        k = self.n_cohort_columns
+
+        def key(row):
+            return (tuple(str(v) for v in row[:k]), row[age_idx])
+
+        return CohortResult(list(self.columns), sorted(self.rows, key=key),
+                            self.n_cohort_columns)
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as {column: value} dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # -- cohort report -----------------------------------------------------
+
+    def pivot(self, measure: str | None = None) -> "CohortReport":
+        """Reshape into a cohort-by-age matrix (the paper's Table 3).
+
+        Args:
+            measure: which measure column to pivot; defaults to the first
+                column after ``age``.
+        """
+        if measure is None:
+            measure = self.columns[self.column_index("age") + 1]
+        m_idx = self.column_index(measure)
+        age_idx = self.column_index("age")
+        size_idx = self.column_index("cohort_size")
+        k = self.n_cohort_columns
+        cohorts: dict[tuple, dict[int, object]] = {}
+        sizes: dict[tuple, int] = {}
+        for row in self.rows:
+            label = row[:k]
+            cohorts.setdefault(label, {})[row[age_idx]] = row[m_idx]
+            sizes[label] = row[size_idx]
+        labels = sorted(cohorts, key=lambda c: tuple(str(v) for v in c))
+        ages = sorted({age for cells in cohorts.values() for age in cells})
+        return CohortReport(
+            measure=measure,
+            cohort_labels=[" / ".join(str(v) for v in c) for c in labels],
+            cohort_sizes=[sizes[c] for c in labels],
+            ages=ages,
+            cells=[[cohorts[c].get(age) for age in ages] for c in labels],
+        )
+
+    def to_text(self, max_rows: int = 50) -> str:
+        """A plain ASCII rendering of the relation."""
+        rows = [tuple(_fmt(v) for v in row) for row in self.rows[:max_rows]]
+        widths = [len(c) for c in self.columns]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines = [header, "-" * len(header)]
+        lines += ["  ".join(cell.ljust(widths[i])
+                            for i, cell in enumerate(row)) for row in rows]
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+@dataclass
+class CohortReport:
+    """A pivoted cohort report: rows = cohorts, columns = ages."""
+
+    measure: str
+    cohort_labels: list[str]
+    cohort_sizes: list[int]
+    ages: list[int]
+    cells: list[list]
+
+    def cell(self, cohort_label: str, age: int):
+        """The measure value for one (cohort, age), or None."""
+        try:
+            r = self.cohort_labels.index(cohort_label)
+            c = self.ages.index(age)
+        except ValueError:
+            return None
+        return self.cells[r][c]
+
+    def to_text(self) -> str:
+        """Render like the paper's Table 3 (cohort, size, age columns)."""
+        label_w = max([len("cohort")]
+                      + [len(f"{l} ({s})") for l, s in
+                         zip(self.cohort_labels, self.cohort_sizes)])
+        cols = [str(a) for a in self.ages]
+        col_w = [max(6, len(c)) for c in cols]
+        head = "cohort".ljust(label_w) + " | " + "  ".join(
+            c.rjust(w) for c, w in zip(cols, col_w))
+        lines = [f"{self.measure} by (cohort, age)", head,
+                 "-" * len(head)]
+        for label, size, row in zip(self.cohort_labels, self.cohort_sizes,
+                                    self.cells):
+            cells = "  ".join(_fmt(v).rjust(w)
+                              for v, w in zip(row, col_w))
+            lines.append(f"{label} ({size})".ljust(label_w) + " | " + cells)
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,5 @@
+"""The vectorized columnar engine substrate (the MonetDB stand-in)."""
+
+from repro.columnar.executor import execute
+
+__all__ = ["execute"]

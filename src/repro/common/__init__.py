@@ -1,0 +1,15 @@
+"""Shared utilities: lexing infrastructure for both query languages."""
+
+from repro.common.lexer import (
+    END,
+    IDENT,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    Token,
+    TokenStream,
+    tokenize,
+)
+
+__all__ = ["END", "IDENT", "NUMBER", "STRING", "SYMBOL", "Token",
+           "TokenStream", "tokenize"]

@@ -1,0 +1,151 @@
+"""A small shared lexer for the cohort query language and the SQL subset.
+
+Produces a flat token stream of identifiers, numbers, strings and
+punctuation. Keywords are not distinguished here — parsers match
+identifiers case-insensitively — but identifier case is preserved so
+column names stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+#: Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+END = "END"
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", "[", "]", ",", "*", "=",
+            "<", ">", ".", ";", "+", "-", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: IDENT, NUMBER, STRING, SYMBOL or END.
+        text: the raw text (string tokens hold the unquoted value).
+        position: character offset in the source.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword check on identifier tokens."""
+        return self.kind == IDENT and self.text.upper() == word.upper()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens.
+
+    Raises:
+        ParseError: on unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "\"'":
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", i)
+            tokens.append(Token(STRING, source[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i + 1
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            tokens.append(Token(NUMBER, source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token(IDENT, source[i:j], i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                text = "!=" if symbol == "<>" else symbol
+                tokens.append(Token(SYMBOL, text, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(END, "", n))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != END:
+            self._pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == END
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        """Consume the next token if it is one of ``words``."""
+        token = self.peek()
+        if any(token.matches_keyword(w) for w in words):
+            return self.next()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if not token.matches_keyword(word):
+            raise ParseError(f"expected {word}, got {token.text!r}",
+                             token.position)
+        return token
+
+    def accept_symbol(self, symbol: str) -> Token | None:
+        token = self.peek()
+        if token.kind == SYMBOL and token.text == symbol:
+            return self.next()
+        return None
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.next()
+        if token.kind != SYMBOL or token.text != symbol:
+            raise ParseError(f"expected {symbol!r}, got {token.text!r}",
+                             token.position)
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.next()
+        if token.kind != IDENT:
+            raise ParseError(f"expected identifier, got {token.text!r}",
+                             token.position)
+        return token
+
+    def peek_is_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return any(token.matches_keyword(w) for w in words)

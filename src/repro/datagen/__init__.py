@@ -1,0 +1,33 @@
+"""Synthetic mobile-game workload (the paper's dataset stand-in)."""
+
+from repro.datagen.config import (
+    ACTIONS,
+    BIRTH_ACTIONS,
+    CITIES_PER_COUNTRY,
+    COUNTRIES,
+    GameConfig,
+    ROLES,
+    game_schema,
+)
+from repro.datagen.distributions import (
+    aging_activity,
+    birth_day_weights,
+    zipf_weights,
+)
+from repro.datagen.gamegen import generate
+from repro.datagen.scaling import scale_dataset
+
+__all__ = [
+    "ACTIONS",
+    "BIRTH_ACTIONS",
+    "CITIES_PER_COUNTRY",
+    "COUNTRIES",
+    "GameConfig",
+    "ROLES",
+    "aging_activity",
+    "birth_day_weights",
+    "game_schema",
+    "generate",
+    "scale_dataset",
+    "zipf_weights",
+]

@@ -1,0 +1,90 @@
+"""Configuration and vocabularies for the synthetic mobile-game workload.
+
+The paper's dataset: 30M tuples from 57,077 players, 2013-05-19 to
+2013-06-26 (39 days), 16 actions (including the three birth actions
+``launch``, ``shop``, ``achievement``), dimensions country / city / role
+and measures session length / gold. The defaults here generate the same
+shape at roughly 1/1000 of the user population so the pure-Python
+benchmark suite finishes; ``n_users`` scales it up or down freely, and
+:func:`repro.datagen.scale_dataset` applies the paper's scale-factor
+construction on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema import ActivitySchema, LogicalType, parse_timestamp
+
+#: The 16 in-game actions; the first is always a user's first action.
+ACTIONS = (
+    "launch", "shop", "achievement", "fight", "quest", "chat",
+    "trade", "upgrade", "craft", "guild", "pvp", "explore",
+    "daily", "gift", "tutorial", "logout",
+)
+
+#: Birth actions used throughout the paper's benchmark queries.
+BIRTH_ACTIONS = ("launch", "shop", "achievement")
+
+COUNTRIES = (
+    "China", "United States", "Australia", "Japan", "Korea", "Germany",
+    "France", "Brazil", "India", "Russia", "United Kingdom", "Canada",
+    "Singapore", "Vietnam", "Thailand", "Mexico", "Italy", "Spain",
+    "Netherlands", "Sweden", "Norway", "Poland", "Turkey", "Egypt",
+    "Nigeria", "Kenya", "Chile", "Peru", "Argentina", "Indonesia",
+)
+
+#: Cities are generated as "<country> City <i>" — 4 per country.
+CITIES_PER_COUNTRY = 4
+
+ROLES = ("dwarf", "wizard", "assassin", "bandit", "knight", "ranger")
+
+
+def game_schema() -> ActivitySchema:
+    """The activity schema of the paper's dataset."""
+    return ActivitySchema.build(
+        user="player", time="time", action="action",
+        dimensions={"country": LogicalType.STRING,
+                    "city": LogicalType.STRING,
+                    "role": LogicalType.STRING},
+        measures={"session_length": LogicalType.INT,
+                  "gold": LogicalType.INT},
+    )
+
+
+@dataclass(frozen=True)
+class GameConfig:
+    """Knobs of the synthetic workload.
+
+    Attributes:
+        n_users: players at scale 1 (the paper has 57,077; default 57).
+        n_days: length of the observation window.
+        start: first day of the window.
+        seed: RNG seed — generation is fully deterministic.
+        sessions_per_day: mean sessions on a player's birth day.
+        events_per_session: mean non-launch events per session.
+        retention_tau: e-folding of the aging decay, in days.
+        social_change: how much each later birth week slows the decay
+            (the "iterative game development" effect behind Table 3).
+        base_gold: mean gold per shop event at age 1 for week-0 cohorts.
+    """
+
+    n_users: int = 57
+    n_days: int = 39
+    start: str = "2013-05-19"
+    seed: int = 7
+    sessions_per_day: float = 1.1
+    events_per_session: float = 2.2
+    retention_tau: float = 9.0
+    social_change: float = 0.35
+    base_gold: float = 60.0
+
+    @property
+    def start_epoch(self) -> int:
+        return parse_timestamp(self.start)
+
+    def __post_init__(self):
+        if self.n_users <= 0:
+            raise ValueError("n_users must be positive")
+        if self.n_days <= 0:
+            raise ValueError("n_days must be positive")

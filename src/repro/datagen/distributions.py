@@ -1,0 +1,40 @@
+"""Sampling helpers for the workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, s: float = 1.1) -> np.ndarray:
+    """Normalized Zipf weights over ``n`` ranks (rank 1 most popular).
+
+    Real player populations are heavily skewed by country/city; a Zipf
+    with a mild exponent reproduces that skew without starving the tail.
+    """
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def birth_day_weights(n_days: int, tau: float = 18.0) -> np.ndarray:
+    """Birth-day distribution over the observation window.
+
+    Exponentially more players are born early (an app-launch spike that
+    tapers off), which produces a birth CDF with the concave shape the
+    paper's Figure 8 plots against query time.
+    """
+    days = np.arange(n_days, dtype=np.float64)
+    weights = np.exp(-days / tau)
+    return weights / weights.sum()
+
+
+def aging_activity(age_days: np.ndarray | float, tau: float,
+                   cohort_week: int, social_change: float):
+    """Relative activity level at a given age (the aging effect).
+
+    Activity decays exponentially with age; later cohorts decay slower
+    (the social-change effect): the e-folding time is
+    ``tau * (1 + social_change * cohort_week)``.
+    """
+    effective_tau = tau * (1.0 + social_change * cohort_week)
+    return np.exp(-np.asarray(age_days, dtype=np.float64) / effective_tau)

@@ -1,0 +1,7 @@
+"""Mixed cohort + SQL querying (the paper's Section 3.5 extension)."""
+
+from repro.mixed.engine import MixedEngine
+from repro.mixed.parser import MixedStatement, is_cohort_query, split_mixed
+
+__all__ = ["MixedEngine", "MixedStatement", "is_cohort_query",
+           "split_mixed"]

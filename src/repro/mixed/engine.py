@@ -1,0 +1,86 @@
+"""Execution of mixed cohort + SQL statements (Section 3.5).
+
+The :class:`MixedEngine` owns a COHANA engine (for activity tables and
+cohort sub-queries) and a relational database (for the outer SQL). A
+mixed statement is evaluated "cohort query first": every cohort
+sub-query runs on COHANA, its result relation is registered under the
+WITH name, and only then does the outer SQL run — so no SQL operation can
+accidentally drop birth activity tuples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindError, CatalogError
+from repro.cohana.engine import CohanaEngine
+from repro.mixed.parser import split_mixed
+from repro.relational.database import Database
+from repro.relational.rows import RelTable
+from repro.storage.writer import DEFAULT_CHUNK_ROWS
+from repro.table import ActivityTable
+
+
+class MixedEngine:
+    """Evaluates mixed statements over registered activity tables.
+
+    Args:
+        executor: relational executor for the outer SQL
+            ('columnar' default, or 'rows').
+        cohana_executor: COHANA executor for cohort sub-queries.
+    """
+
+    def __init__(self, executor: str = "columnar",
+                 cohana_executor: str = "vectorized"):
+        self.cohana = CohanaEngine()
+        self._sql_executor = executor
+        self._cohana_executor = cohana_executor
+        self._activity_tables: dict[str, ActivityTable] = {}
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create_table(self, name: str, table: ActivityTable,
+                     target_chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        """Register an activity table for both engines."""
+        self.cohana.create_table(name, table,
+                                 target_chunk_rows=target_chunk_rows)
+        self._activity_tables[name] = table
+
+    def tables(self) -> list[str]:
+        return sorted(self._activity_tables)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, text: str, age_unit: str = "day",
+                time_bin_origin: int = 0) -> RelTable:
+        """Run a mixed statement and return the outer SQL's result."""
+        statement = split_mixed(text)
+        db = Database(executor=self._sql_executor)
+        for name, table in self._activity_tables.items():
+            db.register_activity_table(name, table)
+        for name, cohort_text in statement.cohort_subqueries.items():
+            self._check_cohort_sources(cohort_text, statement)
+            result = self.cohana.query(
+                self.cohana.parse(cohort_text, age_unit=age_unit,
+                                  time_bin_origin=time_bin_origin),
+                executor=self._cohana_executor)
+            try:
+                db.register(name, RelTable(result.columns, result.rows))
+            except CatalogError:
+                raise BindError(
+                    f"WITH name {name!r} shadows a registered activity "
+                    f"table") from None
+        return db.execute(statement.sql_text)
+
+    def _check_cohort_sources(self, cohort_text: str,
+                              statement) -> None:
+        """Enforce: cohort sub-queries read base activity tables only."""
+        from repro.cohana.parser import parse_cohort_query
+        parsed = parse_cohort_query(cohort_text)
+        if parsed.table in statement.cohort_subqueries:
+            raise BindError(
+                f"cohort sub-query reads {parsed.table!r}, which is "
+                "another sub-query; cohort sub-queries may only read "
+                "base activity tables (Section 3.5)")
+        if parsed.table not in self._activity_tables:
+            raise BindError(
+                f"cohort sub-query reads unknown activity table "
+                f"{parsed.table!r}; have {self.tables()}")

@@ -1,0 +1,125 @@
+"""Parsing mixed cohort + SQL statements (Section 3.5).
+
+A *mixed query* encapsulates cohort queries as WITH sub-queries of an
+outer SQL query::
+
+    WITH cohorts AS (
+        SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+        FROM GameActions
+        BIRTH FROM action = "launch"
+        COHORT BY country
+    )
+    SELECT country, age, spent FROM cohorts
+    WHERE country IN ('Australia', 'China')
+
+The splitter walks the WITH list, classifies each entry as a cohort
+sub-query (it contains a ``BIRTH FROM`` clause) or a plain SQL
+sub-query, and enforces the paper's composition rules:
+
+* the outermost query must be SQL (cohort queries only as sub-queries);
+* a cohort sub-query may only read a base activity table — never another
+  sub-query (cohort sub-queries are evaluated first, so nothing they
+  reference may depend on SQL results).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common import SYMBOL, Token, TokenStream, tokenize
+from repro.errors import ParseError
+
+_BIRTH_FROM = re.compile(r"\bBIRTH\s+FROM\b", re.IGNORECASE)
+
+
+@dataclass
+class MixedStatement:
+    """A split mixed query.
+
+    Attributes:
+        cohort_subqueries: name -> cohort query text, in WITH order.
+        sql_text: the outer statement, with plain-SQL WITH entries
+            preserved and cohort entries removed (they become registered
+            tables before the SQL runs).
+    """
+
+    cohort_subqueries: dict[str, str] = field(default_factory=dict)
+    sql_text: str = ""
+
+
+def is_cohort_query(text: str) -> bool:
+    """A (sub-)query is a cohort query iff it has a BIRTH FROM clause."""
+    return _BIRTH_FROM.search(text) is not None
+
+
+def split_mixed(text: str) -> MixedStatement:
+    """Split a mixed statement into cohort sub-queries + outer SQL.
+
+    Raises:
+        ParseError: if the outermost query is a cohort query, a WITH name
+            repeats, or parentheses are unbalanced.
+    """
+    tokens = tokenize(text)
+    stream = TokenStream(tokens)
+    statement = MixedStatement()
+    if not stream.peek_is_keyword("WITH"):
+        if is_cohort_query(text):
+            raise ParseError(
+                "the outermost query of a mixed statement must be a SQL "
+                "query; wrap the cohort query in WITH <name> AS (...) "
+                "(Section 3.5)")
+        statement.sql_text = text.strip()
+        return statement
+
+    stream.next()  # WITH
+    kept_ctes: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    while True:
+        name = stream.expect_ident().text
+        if name in seen:
+            raise ParseError(f"duplicate WITH name {name!r}")
+        seen.add(name)
+        stream.expect_keyword("AS")
+        open_paren = stream.expect_symbol("(")
+        body = _consume_parenthesized(text, stream, open_paren)
+        if is_cohort_query(body):
+            statement.cohort_subqueries[name] = body.strip()
+        else:
+            kept_ctes.append((name, body.strip()))
+        if not stream.accept_symbol(","):
+            break
+    outer = text[stream.peek().position:].strip()
+    if not outer:
+        raise ParseError("missing outer SQL query after WITH clause")
+    if is_cohort_query(outer):
+        raise ParseError(
+            "the outermost query of a mixed statement must be a SQL "
+            "query (Section 3.5)")
+    if kept_ctes:
+        rendered = ", ".join(f"{name} AS ({body})"
+                             for name, body in kept_ctes)
+        outer = f"WITH {rendered} {outer}"
+    statement.sql_text = outer
+    return statement
+
+
+def _consume_parenthesized(text: str, stream: TokenStream,
+                           open_paren: Token) -> str:
+    """Consume a balanced parenthesized region and return its body text.
+
+    ``stream`` is positioned just after the opening parenthesis; on
+    return it is positioned just after the matching closer.
+    """
+    depth = 1
+    start = open_paren.position + 1
+    while depth > 0:
+        token = stream.next()
+        if token.kind == "END":
+            raise ParseError("unbalanced parentheses in WITH clause",
+                             open_paren.position)
+        if token.kind == SYMBOL and token.text == "(":
+            depth += 1
+        elif token.kind == SYMBOL and token.text == ")":
+            depth -= 1
+    return text[start:token.position]

@@ -1,0 +1,59 @@
+"""The row-store relational engine substrate (the Postgres stand-in)."""
+
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Const,
+    Expr,
+    FuncCall,
+    InListExpr,
+    RelSchema,
+    Star,
+    UnaryNot,
+    contains_aggregate,
+    eval_batch,
+    eval_row,
+)
+from repro.relational.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.relational.rows import RelTable
+
+__all__ = [
+    "Aggregate",
+    "BetweenExpr",
+    "BinaryOp",
+    "ColumnRef",
+    "Const",
+    "Database",
+    "Distinct",
+    "Expr",
+    "Filter",
+    "FuncCall",
+    "InListExpr",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "Project",
+    "RelSchema",
+    "RelTable",
+    "Scan",
+    "Sort",
+    "Star",
+    "SubqueryScan",
+    "UnaryNot",
+    "contains_aggregate",
+    "eval_batch",
+    "eval_row",
+]

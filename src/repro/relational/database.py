@@ -1,0 +1,103 @@
+"""A small relational database facade over either executor.
+
+This is the container the non-intrusive schemes run against: register
+activity tables as base tables, optionally materialize views with
+``CREATE TABLE AS``-style calls, and execute SQL text. Choose the engine
+with ``executor='rows'`` (Postgres stand-in) or ``executor='columnar'``
+(MonetDB stand-in).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.relational import row_executor
+from repro.relational.logical import LogicalPlan
+from repro.relational.rows import RelTable
+from repro.sqlparser.binder import SqlBinder
+from repro.sqlparser.parser import parse_sql
+from repro.table import ActivityTable
+
+EXECUTOR_NAMES = ("rows", "columnar")
+
+
+class Database:
+    """A named-table catalog plus a SQL execution pipeline."""
+
+    def __init__(self, executor: str = "rows"):
+        if executor not in EXECUTOR_NAMES:
+            raise CatalogError(f"unknown executor {executor!r}; "
+                               f"have {EXECUTOR_NAMES}")
+        self.executor = executor
+        self._tables: dict[str, RelTable] = {}
+        self._views: dict[str, LogicalPlan] = {}
+
+    # -- catalog ---------------------------------------------------------------
+
+    def register(self, name: str, table: RelTable) -> None:
+        """Register a relational table under ``name``."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def register_activity_table(self, name: str,
+                                table: ActivityTable) -> None:
+        """Register an activity table as a base relational table."""
+        self.register(name, RelTable.from_activity_table(table))
+
+    def drop(self, name: str) -> None:
+        self.table(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> RelTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- execution ----------------------------------------------------------------
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Register a non-materialized view: ``sql`` is re-planned into
+        every statement that references ``name`` (contrast with
+        :meth:`create_table_as`, the MV scheme's tool, which stores the
+        result rows)."""
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"name {name!r} already exists")
+        self._views[name] = self.plan(sql)
+
+    def plan(self, sql: str) -> LogicalPlan:
+        """Parse + bind ``sql`` into a logical plan."""
+        query = parse_sql(sql)
+        binder = SqlBinder(self._columns_of, views=self._views)
+        return binder.bind(query)
+
+    def execute(self, sql: str) -> RelTable:
+        """Run a SQL statement and return its result table."""
+        return self.execute_plan(self.plan(sql))
+
+    def execute_plan(self, plan: LogicalPlan) -> RelTable:
+        if self.executor == "rows":
+            return row_executor.execute(plan, self.table)
+        from repro.columnar.executor import execute as columnar_execute
+        return columnar_execute(plan, self.table)
+
+    def create_table_as(self, name: str, sql: str) -> RelTable:
+        """``CREATE TABLE <name> AS <select>`` — the MV scheme's tool."""
+        result = self.execute(sql)
+        self.register(name, result)
+        return result
+
+    def explain(self, sql: str) -> str:
+        """The logical plan tree as text."""
+        return self.plan(sql).describe()
+
+    def _columns_of(self, name: str) -> list[str] | None:
+        table = self._tables.get(name)
+        if table is None:
+            return None
+        return list(table.names)

@@ -1,0 +1,375 @@
+"""Expression AST shared by the row and columnar relational engines.
+
+Expressions evaluate in two modes:
+
+* :func:`eval_row` — one Python value per row (the row engine / Postgres
+  stand-in);
+* :func:`eval_batch` — one numpy array per column batch (the columnar
+  engine / MonetDB stand-in).
+
+Scalar functions cover what the paper's SQL translations need:
+``TimeDiff(a, b)`` (the age computation of Figure 2c) and
+``Week(t [, origin])`` (the OLAP query of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BindError, ExecutionError
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def references(self) -> set[str]:
+        """Column names referenced by this expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference like ``t.gold``."""
+
+    name: str
+
+    def references(self):
+        return {self.name}
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant."""
+
+    value: object
+
+    def references(self):
+        return set()
+
+    def __str__(self):
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison or boolean binary operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def references(self):
+        return self.left.references() | self.right.references()
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryNot(Expr):
+    """Boolean NOT."""
+
+    operand: Expr
+
+    def references(self):
+        return self.operand.references()
+
+    def __str__(self):
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    """``x BETWEEN lo AND hi`` (inclusive)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def references(self):
+        return (self.operand.references() | self.low.references()
+                | self.high.references())
+
+    def __str__(self):
+        return f"({self.operand} BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class InListExpr(Expr):
+    """``x IN (v1, v2, ...)`` over literal values."""
+
+    operand: Expr
+    values: tuple
+
+    def references(self):
+        return self.operand.references()
+
+    def __str__(self):
+        inner = ", ".join(str(Const(v)) for v in self.values)
+        return f"({self.operand} IN ({inner}))"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A scalar or aggregate function call.
+
+    Aggregate calls (``Sum``, ``Avg``, ``Count``, ``Min``, ``Max``) only
+    appear in aggregation plans; ``distinct`` applies to ``Count``.
+    """
+
+    name: str
+    args: tuple
+    distinct: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", self.name.upper())
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def references(self):
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.references()
+        return out
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_NAMES
+
+    def __str__(self):
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        if not self.args and self.name == "COUNT":
+            inner = "*"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — only valid inside ``Count(*)`` and SELECT lists."""
+
+    def references(self):
+        return set()
+
+    def __str__(self):
+        return "*"
+
+
+AGGREGATE_NAMES = ("SUM", "AVG", "COUNT", "MIN", "MAX")
+SCALAR_FUNCTIONS = ("TIMEDIFF", "WEEK", "CEILDIV", "TIMEBIN")
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """Does ``expr`` contain an aggregate function call anywhere?"""
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(
+            expr.right)
+    if isinstance(expr, UnaryNot):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, BetweenExpr):
+        return any(contains_aggregate(e)
+                   for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, InListExpr):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Name resolution
+# ---------------------------------------------------------------------------
+
+
+class RelSchema:
+    """An ordered list of output column names with suffix matching.
+
+    Columns may be qualified (``mv.gold``); a reference resolves if it
+    matches a name exactly or matches the part after the final dot.
+
+    Raises:
+        BindError: on unknown or ambiguous references.
+    """
+
+    def __init__(self, names: list[str]):
+        self.names = list(names)
+
+    def __len__(self):
+        return len(self.names)
+
+    def __iter__(self):
+        return iter(self.names)
+
+    def resolve(self, name: str) -> int:
+        matches = [i for i, n in enumerate(self.names) if n == name]
+        if not matches:
+            matches = [i for i, n in enumerate(self.names)
+                       if n.rpartition(".")[2] == name]
+        if not matches:
+            raise BindError(f"unknown column {name!r}; have {self.names}")
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {name!r} in {self.names}")
+        return matches[0]
+
+    def concat(self, other: "RelSchema") -> "RelSchema":
+        return RelSchema(self.names + other.names)
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time evaluation
+# ---------------------------------------------------------------------------
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def eval_row(expr: Expr, row: tuple, schema: RelSchema):
+    """Evaluate a (non-aggregate) expression against one row."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[schema.resolve(expr.name)]
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            return bool(eval_row(expr.left, row, schema)
+                        and eval_row(expr.right, row, schema))
+        if expr.op == "OR":
+            return bool(eval_row(expr.left, row, schema)
+                        or eval_row(expr.right, row, schema))
+        lhs = eval_row(expr.left, row, schema)
+        rhs = eval_row(expr.right, row, schema)
+        if expr.op in _CMP:
+            return bool(_CMP[expr.op](lhs, rhs))
+        if expr.op in _ARITH:
+            return _ARITH[expr.op](lhs, rhs)
+        raise ExecutionError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, UnaryNot):
+        return not eval_row(expr.operand, row, schema)
+    if isinstance(expr, BetweenExpr):
+        v = eval_row(expr.operand, row, schema)
+        return bool(eval_row(expr.low, row, schema) <= v
+                    <= eval_row(expr.high, row, schema))
+    if isinstance(expr, InListExpr):
+        return eval_row(expr.operand, row, schema) in expr.values
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expr.name} outside an aggregation")
+        args = [eval_row(a, row, schema) for a in expr.args]
+        return call_scalar(expr.name, args)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def call_scalar(name: str, args: list):
+    """Dispatch a scalar function by name (row mode)."""
+    if name == "TIMEDIFF":
+        if len(args) != 2:
+            raise ExecutionError("TimeDiff takes exactly 2 arguments")
+        return args[0] - args[1]
+    if name == "WEEK":
+        if len(args) not in (1, 2):
+            raise ExecutionError("Week takes 1 or 2 arguments")
+        origin = args[1] if len(args) == 2 else 0
+        week = 7 * 86400
+        return origin + ((args[0] - origin) // week) * week
+    if name == "CEILDIV":
+        # Ceiling division for positive numerators: the age normalization
+        # of Definition 3 expressed in SQL (first unit after birth == 1).
+        if len(args) != 2:
+            raise ExecutionError("CeilDiv takes exactly 2 arguments")
+        return (args[0] + args[1] - 1) // args[1]
+    if name == "TIMEBIN":
+        # TimeBin(t, unit_seconds, origin): floor t to its bin start.
+        if len(args) != 3:
+            raise ExecutionError("TimeBin takes exactly 3 arguments")
+        t, unit, origin = args
+        return origin + ((t - origin) // unit) * unit
+    raise ExecutionError(f"unknown function {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_batch(expr: Expr, batch: list, schema: RelSchema,
+               n_rows: int) -> np.ndarray:
+    """Evaluate a (non-aggregate) expression against a column batch.
+
+    ``batch`` is a list of numpy arrays (length ``n_rows``) positionally
+    parallel to ``schema`` — positional so that duplicate output names
+    (e.g. a self-join's two ``gold`` columns) stay distinct.
+    """
+    if isinstance(expr, Const):
+        arr = np.empty(n_rows, dtype=object) \
+            if isinstance(expr.value, str) else None
+        if arr is not None:
+            arr[:] = expr.value
+            return arr
+        return np.full(n_rows, expr.value)
+    if isinstance(expr, ColumnRef):
+        return batch[schema.resolve(expr.name)]
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("AND", "OR"):
+            lhs = eval_batch(expr.left, batch, schema, n_rows).astype(bool)
+            rhs = eval_batch(expr.right, batch, schema, n_rows).astype(bool)
+            return (lhs & rhs) if expr.op == "AND" else (lhs | rhs)
+        lhs = eval_batch(expr.left, batch, schema, n_rows)
+        rhs = eval_batch(expr.right, batch, schema, n_rows)
+        if expr.op in _CMP:
+            return np.asarray(_CMP[expr.op](lhs, rhs), dtype=bool)
+        if expr.op in _ARITH:
+            return _ARITH[expr.op](lhs, rhs)
+        raise ExecutionError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, UnaryNot):
+        return ~eval_batch(expr.operand, batch, schema, n_rows).astype(bool)
+    if isinstance(expr, BetweenExpr):
+        v = eval_batch(expr.operand, batch, schema, n_rows)
+        lo = eval_batch(expr.low, batch, schema, n_rows)
+        hi = eval_batch(expr.high, batch, schema, n_rows)
+        return np.asarray((lo <= v) & (v <= hi), dtype=bool)
+    if isinstance(expr, InListExpr):
+        v = eval_batch(expr.operand, batch, schema, n_rows)
+        mask = np.zeros(n_rows, dtype=bool)
+        for value in expr.values:
+            mask |= np.asarray(v == value, dtype=bool)
+        return mask
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expr.name} outside an aggregation")
+        args = [eval_batch(a, batch, schema, n_rows) for a in expr.args]
+        if expr.name == "TIMEDIFF":
+            return args[0] - args[1]
+        if expr.name == "WEEK":
+            origin = args[1] if len(args) == 2 else 0
+            week = 7 * 86400
+            return origin + ((args[0] - origin) // week) * week
+        if expr.name == "CEILDIV":
+            return (args[0] + args[1] - 1) // args[1]
+        if expr.name == "TIMEBIN":
+            t, unit, origin = args
+            return origin + ((t - origin) // unit) * unit
+        raise ExecutionError(f"unknown function {expr.name!r}")
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")

@@ -1,0 +1,211 @@
+"""Logical query plans shared by the row and columnar executors.
+
+A deliberately small algebra: Scan, Filter, Project, Join (inner),
+Aggregate (hash group-by), Sort, Limit, Distinct. The SQL binder lowers
+parsed statements to these nodes; each engine supplies the physical
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BindError
+from repro.relational.expressions import Expr, FuncCall
+
+
+class LogicalPlan:
+    """Base class of all logical plan nodes."""
+
+    def output_names(self) -> list[str]:
+        """The column names this node produces."""
+        raise NotImplementedError
+
+    def children(self) -> list["LogicalPlan"]:
+        return []
+
+    def describe(self, indent: int = 0) -> str:
+        """An EXPLAIN-style tree rendering."""
+        line = "  " * indent + self._label()
+        return "\n".join([line] + [c.describe(indent + 1)
+                                   for c in self.children()])
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Scan(LogicalPlan):
+    """Read a named base table (or registered view result)."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)  # filled at bind time
+    alias: str | None = None
+
+    def output_names(self):
+        prefix = self.alias or self.table
+        return [f"{prefix}.{c}" for c in self.columns]
+
+    def _label(self):
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"Scan({self.table}{alias})"
+
+
+@dataclass
+class Filter(LogicalPlan):
+    """Keep rows satisfying a boolean predicate."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    def output_names(self):
+        return self.child.output_names()
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        return f"Filter({self.predicate})"
+
+
+@dataclass
+class Project(LogicalPlan):
+    """Compute named expressions per row."""
+
+    child: LogicalPlan
+    exprs: list[Expr]
+    names: list[str]
+
+    def output_names(self):
+        return list(self.names)
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        cols = ", ".join(f"{e} AS {n}" for e, n in zip(self.exprs,
+                                                       self.names))
+        return f"Project({cols})"
+
+
+@dataclass
+class Join(LogicalPlan):
+    """Inner join. ``predicate`` may be None for a cross join.
+
+    The executors split conjunctive equality predicates between the two
+    sides into hash-join keys; any residue is applied as a filter.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Expr | None = None
+
+    def output_names(self):
+        return self.left.output_names() + self.right.output_names()
+
+    def children(self):
+        return [self.left, self.right]
+
+    def _label(self):
+        return f"Join({self.predicate})"
+
+
+@dataclass
+class Aggregate(LogicalPlan):
+    """Hash group-by with aggregate functions.
+
+    Attributes:
+        group_exprs / group_names: grouping keys (empty = global).
+        agg_calls / agg_names: aggregate function calls.
+    """
+
+    child: LogicalPlan
+    group_exprs: list[Expr]
+    group_names: list[str]
+    agg_calls: list[FuncCall]
+    agg_names: list[str]
+
+    def __post_init__(self):
+        for call in self.agg_calls:
+            if not call.is_aggregate:
+                raise BindError(f"{call.name} is not an aggregate function")
+
+    def output_names(self):
+        return list(self.group_names) + list(self.agg_names)
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        keys = ", ".join(self.group_names)
+        aggs = ", ".join(f"{c} AS {n}" for c, n in zip(self.agg_calls,
+                                                       self.agg_names))
+        return f"Aggregate(by=[{keys}], aggs=[{aggs}])"
+
+
+@dataclass
+class Sort(LogicalPlan):
+    """Order by expressions."""
+
+    child: LogicalPlan
+    keys: list[Expr]
+    ascending: list[bool]
+
+    def output_names(self):
+        return self.child.output_names()
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        keys = ", ".join(f"{k} {'ASC' if a else 'DESC'}"
+                         for k, a in zip(self.keys, self.ascending))
+        return f"Sort({keys})"
+
+
+@dataclass
+class Limit(LogicalPlan):
+    """Keep the first ``count`` rows."""
+
+    child: LogicalPlan
+    count: int
+
+    def output_names(self):
+        return self.child.output_names()
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        return f"Limit({self.count})"
+
+
+@dataclass
+class Distinct(LogicalPlan):
+    """Remove duplicate rows."""
+
+    child: LogicalPlan
+
+    def output_names(self):
+        return self.child.output_names()
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass
+class SubqueryScan(LogicalPlan):
+    """A derived table: a subquery plan given an alias."""
+
+    child: LogicalPlan
+    alias: str
+
+    def output_names(self):
+        return [f"{self.alias}.{n.rpartition('.')[2]}"
+                for n in self.child.output_names()]
+
+    def children(self):
+        return [self.child]
+
+    def _label(self):
+        return f"SubqueryScan({self.alias})"

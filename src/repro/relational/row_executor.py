@@ -1,0 +1,255 @@
+"""The row-at-a-time (iterator model) executor — the Postgres stand-in.
+
+Implements each logical operator as a generator over Python tuples. Joins
+use classic hash joins when the predicate contains equality conjuncts
+between the two sides; otherwise they degrade to nested loops. The point
+of this engine in the reproduction is its *cost shape*: per-row Python
+evaluation and join materialization, exactly the profile the paper's
+SQL-scheme numbers come from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    RelSchema,
+    Star,
+    eval_row,
+)
+from repro.relational.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.relational.rows import RelTable
+
+
+def execute(plan: LogicalPlan,
+            lookup: Callable[[str], RelTable]) -> RelTable:
+    """Run ``plan``; ``lookup`` resolves base-table names."""
+    names = plan.output_names()
+    rows = list(_rows(plan, lookup))
+    return RelTable([n.rpartition(".")[2] for n in names], rows)
+
+
+def _rows(plan: LogicalPlan, lookup) -> Iterator[tuple]:
+    if isinstance(plan, Scan):
+        yield from lookup(plan.table).rows
+    elif isinstance(plan, SubqueryScan):
+        yield from _rows(plan.child, lookup)
+    elif isinstance(plan, Filter):
+        schema = RelSchema(plan.child.output_names())
+        for row in _rows(plan.child, lookup):
+            if eval_row(plan.predicate, row, schema):
+                yield row
+    elif isinstance(plan, Project):
+        schema = RelSchema(plan.child.output_names())
+        for row in _rows(plan.child, lookup):
+            yield tuple(eval_row(e, row, schema) for e in plan.exprs)
+    elif isinstance(plan, Join):
+        yield from _join(plan, lookup)
+    elif isinstance(plan, Aggregate):
+        yield from _aggregate(plan, lookup)
+    elif isinstance(plan, Sort):
+        schema = RelSchema(plan.child.output_names())
+        rows = list(_rows(plan.child, lookup))
+        for key, ascending in zip(reversed(plan.keys),
+                                  reversed(plan.ascending)):
+            rows.sort(key=lambda r: _sort_key(eval_row(key, r, schema)),
+                      reverse=not ascending)
+        yield from rows
+    elif isinstance(plan, Limit):
+        for i, row in enumerate(_rows(plan.child, lookup)):
+            if i >= plan.count:
+                break
+            yield row
+    elif isinstance(plan, Distinct):
+        seen = set()
+        for row in _rows(plan.child, lookup):
+            if row not in seen:
+                seen.add(row)
+                yield row
+    else:
+        raise ExecutionError(f"unknown plan node {type(plan).__name__}")
+
+
+def _sort_key(value):
+    # Sort None first, then by value; mixed types fall back to strings.
+    return (value is not None, str(type(value)), value) \
+        if not isinstance(value, (int, float, str)) else \
+        (value is not None, "", value)
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+def split_equi_conjuncts(predicate: Expr | None, left_schema: RelSchema,
+                         right_schema: RelSchema):
+    """Split a join predicate into hash keys and a residual expression.
+
+    Returns ``(left_keys, right_keys, residual)`` where the key lists hold
+    column-reference expressions bound to each side.
+    """
+    left_keys: list[Expr] = []
+    right_keys: list[Expr] = []
+    residual: list[Expr] = []
+    for part in _conjuncts(predicate):
+        pair = _equi_pair(part, left_schema, right_schema)
+        if pair is not None:
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+        else:
+            residual.append(part)
+    residual_expr = None
+    for part in residual:
+        residual_expr = part if residual_expr is None else BinaryOp(
+            "AND", residual_expr, part)
+    return left_keys, right_keys, residual_expr
+
+
+def _conjuncts(predicate: Expr | None) -> list[Expr]:
+    if predicate is None:
+        return []
+    if isinstance(predicate, BinaryOp) and predicate.op == "AND":
+        return _conjuncts(predicate.left) + _conjuncts(predicate.right)
+    return [predicate]
+
+
+def _equi_pair(part: Expr, left_schema: RelSchema,
+               right_schema: RelSchema):
+    if not (isinstance(part, BinaryOp) and part.op == "="
+            and isinstance(part.left, ColumnRef)
+            and isinstance(part.right, ColumnRef)):
+        return None
+    if (_resolvable(part.left, left_schema)
+            and _resolvable(part.right, right_schema)):
+        return part.left, part.right
+    if (_resolvable(part.right, left_schema)
+            and _resolvable(part.left, right_schema)):
+        return part.right, part.left
+    return None
+
+
+def _resolvable(ref: ColumnRef, schema: RelSchema) -> bool:
+    try:
+        schema.resolve(ref.name)
+        return True
+    except Exception:
+        return False
+
+
+def _join(plan: Join, lookup) -> Iterator[tuple]:
+    left_schema = RelSchema(plan.left.output_names())
+    right_schema = RelSchema(plan.right.output_names())
+    out_schema = left_schema.concat(right_schema)
+    left_keys, right_keys, residual = split_equi_conjuncts(
+        plan.predicate, left_schema, right_schema)
+    right_rows = list(_rows(plan.right, lookup))
+    if left_keys:
+        # hash join: build on the right input
+        build: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            key = tuple(eval_row(k, row, right_schema)
+                        for k in right_keys)
+            build.setdefault(key, []).append(row)
+        for lrow in _rows(plan.left, lookup):
+            key = tuple(eval_row(k, lrow, left_schema) for k in left_keys)
+            for rrow in build.get(key, ()):
+                combined = lrow + rrow
+                if residual is None or eval_row(residual, combined,
+                                                out_schema):
+                    yield combined
+    else:
+        # nested loop (cross product + filter)
+        for lrow in _rows(plan.left, lookup):
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if plan.predicate is None or eval_row(
+                        plan.predicate, combined, out_schema):
+                    yield combined
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Streaming state for one aggregate call in one group."""
+
+    def __init__(self, call: FuncCall):
+        self.call = call
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.distinct: set | None = set() if call.distinct else None
+
+    def add(self, value) -> None:
+        if self.distinct is not None:
+            self.distinct.add(value)
+            return
+        self.count += 1
+        if value is None:
+            return
+        if isinstance(value, (int, float)):
+            self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def result(self):
+        name = self.call.name
+        if name == "COUNT":
+            return len(self.distinct) if self.distinct is not None \
+                else self.count
+        if name == "SUM":
+            return self.total
+        if name == "AVG":
+            return self.total / self.count if self.count else None
+        if name == "MIN":
+            return self.min
+        if name == "MAX":
+            return self.max
+        raise ExecutionError(f"unknown aggregate {name!r}")
+
+
+def _aggregate(plan: Aggregate, lookup) -> Iterator[tuple]:
+    schema = RelSchema(plan.child.output_names())
+    groups: dict[tuple, list[_AggState]] = {}
+    order: list[tuple] = []
+    for row in _rows(plan.child, lookup):
+        key = tuple(eval_row(e, row, schema) for e in plan.group_exprs)
+        states = groups.get(key)
+        if states is None:
+            states = [_AggState(c) for c in plan.agg_calls]
+            groups[key] = states
+            order.append(key)
+        for state, call in zip(states, plan.agg_calls):
+            if call.args and not isinstance(call.args[0], Star):
+                value = eval_row(call.args[0], row, schema)
+            else:
+                value = 1  # Count(*)
+            state.add(value)
+    if not groups and not plan.group_exprs:
+        # global aggregate over an empty input still yields one row
+        yield tuple(_AggState(c).result() for c in plan.agg_calls)
+        return
+    for key in order:
+        yield key + tuple(s.result() for s in groups[key])

@@ -1,0 +1,87 @@
+"""Column specifications: a name, a logical type, and a role.
+
+The paper's activity table (Section 3.1) fixes three required attributes —
+the user ``Au``, the action time ``At`` and the action ``Ae`` — followed by
+arbitrary dimension and measure attributes. Roles capture that distinction
+so the engine can validate queries (e.g. ``COHORT BY`` must not name the
+user or action column) and so the storage layer can pick encodings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.schema.types import LogicalType
+
+
+class ColumnRole(enum.Enum):
+    """The role a column plays in an activity table."""
+
+    USER = "user"          #: Au — string user identifier
+    TIME = "time"          #: At — action timestamp
+    ACTION = "action"      #: Ae — action name from a fixed vocabulary
+    DIMENSION = "dimension"  #: descriptive attribute (e.g. country, role)
+    MEASURE = "measure"    #: numeric attribute to aggregate (e.g. gold)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """An immutable column definition.
+
+    Attributes:
+        name: column name, unique within a schema.
+        ltype: logical value type.
+        role: role within the activity table.
+    """
+
+    name: str
+    ltype: LogicalType
+    role: ColumnRole
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"bad column name: {self.name!r}")
+        expected = _REQUIRED_TYPE.get(self.role)
+        if expected is not None and self.ltype is not expected:
+            raise SchemaError(
+                f"column {self.name!r} with role {self.role.value} must have "
+                f"type {expected.value}, got {self.ltype.value}")
+        if self.role is ColumnRole.MEASURE and self.ltype is LogicalType.STRING:
+            raise SchemaError(
+                f"measure column {self.name!r} must be numeric")
+
+
+_REQUIRED_TYPE = {
+    ColumnRole.USER: LogicalType.STRING,
+    ColumnRole.TIME: LogicalType.TIMESTAMP,
+    ColumnRole.ACTION: LogicalType.STRING,
+}
+
+
+def user_column(name: str = "user") -> ColumnSpec:
+    """Convenience constructor for the Au column."""
+    return ColumnSpec(name, LogicalType.STRING, ColumnRole.USER)
+
+
+def time_column(name: str = "time") -> ColumnSpec:
+    """Convenience constructor for the At column."""
+    return ColumnSpec(name, LogicalType.TIMESTAMP, ColumnRole.TIME)
+
+
+def action_column(name: str = "action") -> ColumnSpec:
+    """Convenience constructor for the Ae column."""
+    return ColumnSpec(name, LogicalType.STRING, ColumnRole.ACTION)
+
+
+def dimension_column(name: str,
+                     ltype: LogicalType = LogicalType.STRING) -> ColumnSpec:
+    """Convenience constructor for a dimension column."""
+    return ColumnSpec(name, ltype, ColumnRole.DIMENSION)
+
+
+def measure_column(name: str,
+                   ltype: LogicalType = LogicalType.INT) -> ColumnSpec:
+    """Convenience constructor for a measure column."""
+    return ColumnSpec(name, ltype, ColumnRole.MEASURE)

@@ -1,0 +1,144 @@
+"""Activity-table schemas (the paper's Section 3.1 data model).
+
+An :class:`ActivitySchema` is an ordered list of :class:`ColumnSpec` with
+exactly one USER, one TIME and one ACTION column, plus any number of
+dimensions and measures. The primary key is ``(Au, At, Ae)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.column import ColumnRole, ColumnSpec
+from repro.schema.types import LogicalType
+
+
+@dataclass(frozen=True)
+class ActivitySchema:
+    """An ordered, validated activity-table schema.
+
+    Use :meth:`ActivitySchema.build` or the ``game_schema`` helper in
+    :mod:`repro.datagen` for common cases.
+    """
+
+    columns: tuple[ColumnSpec, ...]
+    _by_name: dict = field(init=False, repr=False, compare=False, hash=False,
+                           default=None)
+
+    def __post_init__(self):
+        if isinstance(self.columns, list):
+            object.__setattr__(self, "columns", tuple(self.columns))
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        for role in (ColumnRole.USER, ColumnRole.TIME, ColumnRole.ACTION):
+            count = sum(1 for c in self.columns if c.role is role)
+            if count != 1:
+                raise SchemaError(
+                    f"schema must have exactly one {role.value} column, "
+                    f"found {count}")
+        object.__setattr__(self, "_by_name",
+                           {c.name: c for c in self.columns})
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, user: str, time: str, action: str,
+              dimensions: dict[str, LogicalType] | list[str] | None = None,
+              measures: dict[str, LogicalType] | list[str] | None = None,
+              ) -> "ActivitySchema":
+        """Build a schema from column names.
+
+        ``dimensions`` defaults each listed name to STRING; ``measures``
+        default to INT. Pass dicts to control types explicitly.
+        """
+        cols = [
+            ColumnSpec(user, LogicalType.STRING, ColumnRole.USER),
+            ColumnSpec(time, LogicalType.TIMESTAMP, ColumnRole.TIME),
+            ColumnSpec(action, LogicalType.STRING, ColumnRole.ACTION),
+        ]
+        if isinstance(dimensions, list):
+            dimensions = {name: LogicalType.STRING for name in dimensions}
+        if isinstance(measures, list):
+            measures = {name: LogicalType.INT for name in measures}
+        for name, ltype in (dimensions or {}).items():
+            cols.append(ColumnSpec(name, ltype, ColumnRole.DIMENSION))
+        for name, ltype in (measures or {}).items():
+            cols.append(ColumnSpec(name, ltype, ColumnRole.MEASURE))
+        return cls(tuple(cols))
+
+    # -- lookups -----------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> ColumnSpec:
+        """Return the spec for ``name``, raising SchemaError if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; have {self.names()}") from None
+
+    def index_of(self, name: str) -> int:
+        """Positional index of ``name`` in the schema."""
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise SchemaError(f"unknown column {name!r}; have {self.names()}")
+
+    def names(self) -> list[str]:
+        """All column names in schema order."""
+        return [c.name for c in self.columns]
+
+    def _single(self, role: ColumnRole) -> ColumnSpec:
+        return next(c for c in self.columns if c.role is role)
+
+    @property
+    def user(self) -> ColumnSpec:
+        """The Au column."""
+        return self._single(ColumnRole.USER)
+
+    @property
+    def time(self) -> ColumnSpec:
+        """The At column."""
+        return self._single(ColumnRole.TIME)
+
+    @property
+    def action(self) -> ColumnSpec:
+        """The Ae column."""
+        return self._single(ColumnRole.ACTION)
+
+    @property
+    def dimensions(self) -> tuple[ColumnSpec, ...]:
+        """All dimension columns, in schema order."""
+        return tuple(c for c in self.columns
+                     if c.role is ColumnRole.DIMENSION)
+
+    @property
+    def measures(self) -> tuple[ColumnSpec, ...]:
+        """All measure columns, in schema order."""
+        return tuple(c for c in self.columns if c.role is ColumnRole.MEASURE)
+
+    def validate_cohort_attributes(self, names: list[str]) -> None:
+        """Check Definition 6's constraint ``L ∩ {Au, Ae} = ∅``.
+
+        Cohort attributes may be dimensions or the time column (which is
+        binned), but never the user or action column.
+        """
+        if not names:
+            raise SchemaError("COHORT BY requires at least one attribute")
+        for name in names:
+            spec = self.column(name)
+            if spec.role in (ColumnRole.USER, ColumnRole.ACTION):
+                raise SchemaError(
+                    f"cohort attribute {name!r} may not be the "
+                    f"{spec.role.value} column (Definition 6)")

@@ -1,0 +1,111 @@
+"""Logical column types for activity tables and relational results.
+
+The storage layer and both relational engines dispatch on these types to
+pick value representations and compression schemes:
+
+* ``STRING`` columns are dictionary encoded (two-level: global + chunk).
+* ``INT`` and ``TIMESTAMP`` columns are delta encoded (two-level MIN/MAX).
+* ``FLOAT`` columns are stored raw (the paper's measures are integers, but
+  derived results such as ``Avg(gold)`` are floats).
+
+Timestamps are represented as int64 epoch seconds throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class LogicalType(enum.Enum):
+    """The logical type of a column value."""
+
+    STRING = "string"
+    INT = "int"
+    TIMESTAMP = "timestamp"
+    FLOAT = "float"
+
+    @property
+    def is_integer_like(self) -> bool:
+        """True for types persisted through the delta/bit-packed path."""
+        return self in (LogicalType.INT, LogicalType.TIMESTAMP)
+
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for in-memory column arrays of this type."""
+        if self is LogicalType.STRING:
+            return np.dtype(object)
+        if self is LogicalType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(np.int64)
+
+
+def parse_timestamp(text: str) -> int:
+    """Parse a timestamp literal into epoch seconds.
+
+    Accepts the paper's ``YYYY/MM/DD:HHMM`` format (e.g.
+    ``2013/05/19:1000``), ISO dates (``2013-05-21``), and ISO datetimes
+    (``2013-05-21 14:00`` or ``2013-05-21T14:00:00``). All values are
+    interpreted as UTC.
+
+    Raises:
+        SchemaError: if the text matches no supported format.
+    """
+    text = text.strip()
+    if "/" in text and ":" in text:
+        date_part, _, clock = text.partition(":")
+        try:
+            year, month, day = (int(p) for p in date_part.split("/"))
+            hour, minute = int(clock[:2]), int(clock[2:] or 0)
+            dt = datetime(year, month, day, hour, minute, tzinfo=timezone.utc)
+            return int(dt.timestamp())
+        except ValueError as exc:
+            raise SchemaError(f"bad timestamp literal: {text!r}") from exc
+    for fmt in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M",
+                "%Y-%m-%dT%H:%M", "%Y-%m-%d"):
+        try:
+            dt = datetime.strptime(text, fmt).replace(tzinfo=timezone.utc)
+            return int(dt.timestamp())
+        except ValueError:
+            continue
+    raise SchemaError(f"bad timestamp literal: {text!r}")
+
+
+def format_timestamp(epoch_seconds: int) -> str:
+    """Render epoch seconds as an ISO UTC datetime string."""
+    dt = datetime.fromtimestamp(int(epoch_seconds), tz=timezone.utc)
+    if dt.hour == 0 and dt.minute == 0 and dt.second == 0:
+        return dt.strftime("%Y-%m-%d")
+    return dt.strftime("%Y-%m-%d %H:%M:%S")
+
+
+#: Seconds in each supported age/binning unit.
+TIME_UNIT_SECONDS: dict[str, int] = {
+    "second": 1,
+    "minute": 60,
+    "hour": 3600,
+    "day": 86400,
+    "week": 7 * 86400,
+}
+
+
+def coerce_value(value, ltype: LogicalType):
+    """Coerce a Python literal to the canonical value for ``ltype``.
+
+    String timestamps are parsed; numerics are cast. Used when loading CSV
+    data and when binding query literals against column types.
+    """
+    if ltype is LogicalType.STRING:
+        return str(value)
+    if ltype is LogicalType.TIMESTAMP:
+        if isinstance(value, str):
+            return parse_timestamp(value)
+        return int(value)
+    if ltype is LogicalType.INT:
+        return int(value)
+    if ltype is LogicalType.FLOAT:
+        return float(value)
+    raise SchemaError(f"unknown logical type: {ltype!r}")

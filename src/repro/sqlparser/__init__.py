@@ -1,0 +1,31 @@
+"""The SQL subset front end: lexer-backed parser and plan binder."""
+
+from repro.sqlparser.ast import (
+    CommonTableExpr,
+    GroupItem,
+    JoinClause,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectStmt,
+    StarItem,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sqlparser.binder import SqlBinder
+from repro.sqlparser.parser import parse_sql
+
+__all__ = [
+    "CommonTableExpr",
+    "GroupItem",
+    "JoinClause",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "SelectStmt",
+    "SqlBinder",
+    "StarItem",
+    "SubqueryRef",
+    "TableRef",
+    "parse_sql",
+]

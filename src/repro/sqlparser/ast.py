@@ -1,0 +1,97 @@
+"""AST nodes for the SQL subset.
+
+The subset is what the paper's non-intrusive schemes need (Figures 2-3):
+WITH common table expressions, SELECT [DISTINCT] with aliases and
+aggregates, FROM with comma joins / JOIN ... ON / derived tables, WHERE,
+GROUP BY (with the paper's ``GROUP BY expr AS alias`` idiom), ORDER BY
+and LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import Expr
+
+
+@dataclass
+class SelectItem:
+    """One SELECT-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class StarItem:
+    """``SELECT *``."""
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause table: base table / CTE name with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass
+class SubqueryRef:
+    """A derived table ``(SELECT ...) alias``."""
+
+    select: "SelectStmt"
+    alias: str
+
+
+@dataclass
+class JoinClause:
+    """``JOIN <table> ON <predicate>`` following the first FROM entry."""
+
+    table: "TableRef | SubqueryRef"
+    on: Expr | None
+
+
+@dataclass
+class GroupItem:
+    """One GROUP BY key, optionally aliased (``GROUP BY Week(t) AS w``)."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    """A single SELECT statement."""
+
+    items: list
+    from_tables: list
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[GroupItem] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass
+class CommonTableExpr:
+    """One WITH entry: ``name AS (SELECT ...)``."""
+
+    name: str
+    select: SelectStmt
+
+
+@dataclass
+class Query:
+    """A full statement: optional WITH list plus the outer SELECT."""
+
+    ctes: list[CommonTableExpr]
+    select: SelectStmt

@@ -1,0 +1,207 @@
+"""Lowering parsed SQL to logical plans."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BindError
+from repro.relational.expressions import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Const,
+    Expr,
+    FuncCall,
+    InListExpr,
+    Star,
+    UnaryNot,
+    contains_aggregate,
+)
+from repro.relational.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.sqlparser.ast import (
+    Query,
+    SelectItem,
+    SelectStmt,
+    StarItem,
+    SubqueryRef,
+    TableRef,
+)
+
+
+class SqlBinder:
+    """Binds SQL ASTs against a catalog of base tables.
+
+    Args:
+        catalog_columns: maps a base-table name to its column names, or
+            None when the table is unknown.
+        views: pre-bound plans visible by name in every FROM clause
+            (non-materialized views; CTEs shadow them).
+    """
+
+    def __init__(self,
+                 catalog_columns: Callable[[str], list[str] | None],
+                 views: dict[str, LogicalPlan] | None = None):
+        self._catalog_columns = catalog_columns
+        self._views = dict(views or {})
+
+    def bind(self, query: Query) -> LogicalPlan:
+        """Lower a full statement (CTEs first, in order)."""
+        ctes: dict[str, LogicalPlan] = dict(self._views)
+        for cte in query.ctes:
+            if cte.name in ctes and cte.name not in self._views:
+                raise BindError(f"duplicate CTE name {cte.name!r}")
+            ctes[cte.name] = self._bind_select(cte.select, ctes)
+        return self._bind_select(query.select, ctes)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _bind_select(self, stmt: SelectStmt,
+                     ctes: dict[str, LogicalPlan]) -> LogicalPlan:
+        plan = self._bind_from(stmt, ctes)
+        if stmt.where is not None:
+            plan = Filter(plan, stmt.where)
+        has_agg = bool(stmt.group_by) or any(
+            isinstance(i, SelectItem) and contains_aggregate(i.expr)
+            for i in stmt.items)
+        if has_agg:
+            plan = self._bind_aggregate(stmt, plan)
+        else:
+            plan = self._bind_project(stmt, plan)
+        if stmt.distinct:
+            plan = Distinct(plan)
+        if stmt.order_by:
+            plan = Sort(plan, [o.expr for o in stmt.order_by],
+                        [o.ascending for o in stmt.order_by])
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+    def _bind_from(self, stmt: SelectStmt,
+                   ctes: dict[str, LogicalPlan]) -> LogicalPlan:
+        refs = [self._bind_table_ref(r, ctes) for r in stmt.from_tables]
+        plan = refs[0]
+        for other in refs[1:]:
+            plan = Join(plan, other, None)
+        for join in stmt.joins:
+            plan = Join(plan, self._bind_table_ref(join.table, ctes),
+                        join.on)
+        return plan
+
+    def _bind_table_ref(self, ref, ctes) -> LogicalPlan:
+        if isinstance(ref, SubqueryRef):
+            return SubqueryScan(self._bind_select(ref.select, ctes),
+                                ref.alias)
+        if isinstance(ref, TableRef):
+            if ref.name in ctes:
+                return SubqueryScan(ctes[ref.name], ref.alias or ref.name)
+            columns = self._catalog_columns(ref.name)
+            if columns is None:
+                raise BindError(f"unknown table {ref.name!r}")
+            return Scan(ref.name, list(columns), ref.alias)
+        raise BindError(f"unsupported FROM entry {ref!r}")
+
+    # -- projection -------------------------------------------------------------
+
+    def _bind_project(self, stmt: SelectStmt,
+                      plan: LogicalPlan) -> LogicalPlan:
+        exprs: list[Expr] = []
+        names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item, StarItem):
+                for qualified in plan.output_names():
+                    exprs.append(ColumnRef(qualified))
+                    names.append(qualified.rpartition(".")[2])
+            else:
+                exprs.append(item.expr)
+                names.append(item.alias or _derive_name(item.expr))
+        return Project(plan, exprs, names)
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _bind_aggregate(self, stmt: SelectStmt,
+                        plan: LogicalPlan) -> LogicalPlan:
+        group_exprs: list[Expr] = []
+        group_names: list[str] = []
+        for item in stmt.group_by:
+            group_exprs.append(item.expr)
+            group_names.append(item.alias or _derive_name(item.expr))
+        agg_calls: list[FuncCall] = []
+        agg_names: list[str] = []
+
+        def allocate(call: FuncCall) -> ColumnRef:
+            for existing, name in zip(agg_calls, agg_names):
+                if existing == call:
+                    return ColumnRef(name)
+            name = f"_agg{len(agg_calls)}"
+            agg_calls.append(call)
+            agg_names.append(name)
+            return ColumnRef(name)
+
+        def rewrite(expr: Expr) -> Expr:
+            for gexpr, gname in zip(group_exprs, group_names):
+                if expr == gexpr:
+                    return ColumnRef(gname)
+            if isinstance(expr, FuncCall):
+                if expr.is_aggregate:
+                    return allocate(expr)
+                return FuncCall(expr.name,
+                                tuple(rewrite(a) for a in expr.args),
+                                distinct=expr.distinct)
+            if isinstance(expr, ColumnRef):
+                base = expr.name.rpartition(".")[2]
+                if base in group_names:
+                    return ColumnRef(base)
+                for gexpr, gname in zip(group_exprs, group_names):
+                    if (isinstance(gexpr, ColumnRef)
+                            and gexpr.name.rpartition(".")[2] == base):
+                        return ColumnRef(gname)
+                raise BindError(
+                    f"column {expr.name!r} is neither aggregated nor in "
+                    "GROUP BY")
+            if isinstance(expr, BinaryOp):
+                return BinaryOp(expr.op, rewrite(expr.left),
+                                rewrite(expr.right))
+            if isinstance(expr, UnaryNot):
+                return UnaryNot(rewrite(expr.operand))
+            if isinstance(expr, BetweenExpr):
+                return BetweenExpr(rewrite(expr.operand),
+                                   rewrite(expr.low), rewrite(expr.high))
+            if isinstance(expr, InListExpr):
+                return InListExpr(rewrite(expr.operand), expr.values)
+            return expr
+
+        out_exprs: list[Expr] = []
+        out_names: list[str] = []
+        for item in stmt.items:
+            if isinstance(item, StarItem):
+                raise BindError("SELECT * cannot be combined with "
+                                "aggregation")
+            out_exprs.append(rewrite(item.expr))
+            out_names.append(item.alias or _derive_name(item.expr))
+        agg_plan = Aggregate(plan, group_exprs, group_names, agg_calls,
+                             agg_names)
+        return Project(agg_plan, out_exprs, out_names)
+
+
+def _derive_name(expr: Expr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name.rpartition(".")[2]
+    if isinstance(expr, FuncCall):
+        text = str(expr)
+        return (text.replace("(", "_").replace(")", "")
+                .replace("*", "star").replace(", ", "_").replace(" ", "_")
+                .lower().rstrip("_"))
+    if isinstance(expr, Const):
+        return f"const_{expr.value}"
+    return "expr"

@@ -1,0 +1,305 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.common import IDENT, NUMBER, STRING, SYMBOL, TokenStream, tokenize
+from repro.errors import ParseError
+from repro.relational.expressions import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Const,
+    Expr,
+    FuncCall,
+    InListExpr,
+    Star,
+    UnaryNot,
+)
+from repro.sqlparser.ast import (
+    CommonTableExpr,
+    GroupItem,
+    JoinClause,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectStmt,
+    StarItem,
+    SubqueryRef,
+    TableRef,
+)
+
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AS", "AND", "OR",
+    "NOT", "BETWEEN", "IN", "JOIN", "ON", "WITH", "LIMIT", "DISTINCT",
+    "ASC", "DESC", "HAVING", "UNION", "INNER",
+}
+
+
+def parse_sql(text: str) -> Query:
+    """Parse one SQL statement.
+
+    Raises:
+        ParseError: on any syntax error or trailing garbage.
+    """
+    stream = TokenStream(tokenize(text))
+    query = _parse_query(stream)
+    stream.accept_symbol(";")
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"unexpected trailing token {token.text!r}",
+                         token.position)
+    return query
+
+
+def _parse_query(stream: TokenStream) -> Query:
+    ctes: list[CommonTableExpr] = []
+    if stream.accept_keyword("WITH"):
+        while True:
+            name = stream.expect_ident().text
+            stream.expect_keyword("AS")
+            stream.expect_symbol("(")
+            select = _parse_select(stream)
+            stream.expect_symbol(")")
+            ctes.append(CommonTableExpr(name, select))
+            if not stream.accept_symbol(","):
+                break
+    select = _parse_select(stream)
+    return Query(ctes=ctes, select=select)
+
+
+def _parse_select(stream: TokenStream) -> SelectStmt:
+    stream.expect_keyword("SELECT")
+    distinct = bool(stream.accept_keyword("DISTINCT"))
+    items = [_parse_select_item(stream)]
+    while stream.accept_symbol(","):
+        items.append(_parse_select_item(stream))
+    stream.expect_keyword("FROM")
+    from_tables = [_parse_table_ref(stream)]
+    joins: list[JoinClause] = []
+    while True:
+        if stream.accept_symbol(","):
+            from_tables.append(_parse_table_ref(stream))
+        elif stream.peek_is_keyword("JOIN") or stream.peek_is_keyword(
+                "INNER"):
+            stream.accept_keyword("INNER")
+            stream.expect_keyword("JOIN")
+            table = _parse_table_ref(stream)
+            on = None
+            if stream.accept_keyword("ON"):
+                on = _parse_expr(stream)
+            joins.append(JoinClause(table, on))
+        else:
+            break
+    where = None
+    if stream.accept_keyword("WHERE"):
+        where = _parse_expr(stream)
+    group_by: list[GroupItem] = []
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by.append(_parse_group_item(stream))
+        while stream.accept_symbol(","):
+            group_by.append(_parse_group_item(stream))
+    order_by: list[OrderItem] = []
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        order_by.append(_parse_order_item(stream))
+        while stream.accept_symbol(","):
+            order_by.append(_parse_order_item(stream))
+    limit = None
+    if stream.accept_keyword("LIMIT"):
+        token = stream.next()
+        if token.kind != NUMBER:
+            raise ParseError("LIMIT expects a number", token.position)
+        limit = int(token.text)
+    return SelectStmt(items=items, from_tables=from_tables, joins=joins,
+                      where=where, group_by=group_by, order_by=order_by,
+                      limit=limit, distinct=distinct)
+
+
+def _parse_select_item(stream: TokenStream):
+    if stream.accept_symbol("*"):
+        return StarItem()
+    expr = _parse_expr(stream)
+    alias = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    elif (stream.peek().kind == IDENT
+          and stream.peek().text.upper() not in _RESERVED):
+        alias = stream.next().text
+    return SelectItem(expr, alias)
+
+
+def _parse_table_ref(stream: TokenStream):
+    if stream.accept_symbol("("):
+        select = _parse_select(stream)
+        stream.expect_symbol(")")
+        stream.accept_keyword("AS")
+        alias = stream.expect_ident().text
+        return SubqueryRef(select, alias)
+    name = stream.expect_ident().text
+    alias = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    elif (stream.peek().kind == IDENT
+          and stream.peek().text.upper() not in _RESERVED):
+        alias = stream.next().text
+    return TableRef(name, alias)
+
+
+def _parse_group_item(stream: TokenStream) -> GroupItem:
+    expr = _parse_expr(stream)
+    alias = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    return GroupItem(expr, alias)
+
+
+def _parse_order_item(stream: TokenStream) -> OrderItem:
+    expr = _parse_expr(stream)
+    ascending = True
+    if stream.accept_keyword("DESC"):
+        ascending = False
+    else:
+        stream.accept_keyword("ASC")
+    return OrderItem(expr, ascending)
+
+
+# ---------------------------------------------------------------------------
+# Expressions (precedence: OR < AND < NOT < comparison < +- < */ < primary)
+# ---------------------------------------------------------------------------
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    expr = _parse_and(stream)
+    while stream.accept_keyword("OR"):
+        expr = BinaryOp("OR", expr, _parse_and(stream))
+    return expr
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    expr = _parse_not(stream)
+    while stream.accept_keyword("AND"):
+        expr = BinaryOp("AND", expr, _parse_not(stream))
+    return expr
+
+
+def _parse_not(stream: TokenStream) -> Expr:
+    if stream.accept_keyword("NOT"):
+        return UnaryNot(_parse_not(stream))
+    return _parse_comparison(stream)
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    expr = _parse_additive(stream)
+    token = stream.peek()
+    if token.kind == SYMBOL and token.text in ("=", "!=", "<", "<=", ">",
+                                               ">="):
+        stream.next()
+        return BinaryOp(token.text, expr, _parse_additive(stream))
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_additive(stream)
+        stream.expect_keyword("AND")
+        high = _parse_additive(stream)
+        return BetweenExpr(expr, low, high)
+    if stream.accept_keyword("IN"):
+        values = _parse_literal_list(stream)
+        return InListExpr(expr, tuple(values))
+    return expr
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    expr = _parse_multiplicative(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == SYMBOL and token.text in ("+", "-"):
+            stream.next()
+            expr = BinaryOp(token.text, expr,
+                            _parse_multiplicative(stream))
+        else:
+            return expr
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    expr = _parse_primary(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == SYMBOL and token.text in ("*", "/"):
+            stream.next()
+            expr = BinaryOp(token.text, expr, _parse_primary(stream))
+        else:
+            return expr
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.kind == SYMBOL and token.text == "-":
+        stream.next()
+        inner = _parse_primary(stream)
+        if isinstance(inner, Const):
+            return Const(-inner.value)
+        return BinaryOp("-", Const(0), inner)
+    if token.kind == NUMBER:
+        stream.next()
+        value = float(token.text) if "." in token.text else int(token.text)
+        return Const(value)
+    if token.kind == STRING:
+        stream.next()
+        return Const(token.text)
+    if token.kind == SYMBOL and token.text == "(":
+        stream.next()
+        expr = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return expr
+    if token.kind == IDENT:
+        stream.next()
+        # function call?
+        if stream.peek().kind == SYMBOL and stream.peek().text == "(":
+            stream.next()
+            distinct = bool(stream.accept_keyword("DISTINCT"))
+            args: list[Expr] = []
+            if stream.accept_symbol("*"):
+                args.append(Star())
+                stream.expect_symbol(")")
+            elif stream.accept_symbol(")"):
+                pass
+            else:
+                args.append(_parse_expr(stream))
+                while stream.accept_symbol(","):
+                    args.append(_parse_expr(stream))
+                stream.expect_symbol(")")
+            return FuncCall(token.text, tuple(args), distinct=distinct)
+        name = token.text
+        if stream.accept_symbol("."):
+            name = f"{name}.{stream.expect_ident().text}"
+        return ColumnRef(name)
+    raise ParseError(f"unexpected token {token.text!r} in expression",
+                     token.position)
+
+
+def _parse_literal_list(stream: TokenStream) -> list:
+    open_token = stream.next()
+    if open_token.text not in ("(", "["):
+        raise ParseError("IN expects a parenthesised literal list",
+                         open_token.position)
+    closer = ")" if open_token.text == "(" else "]"
+    values = []
+    if not stream.accept_symbol(closer):
+        values.append(_expect_literal(stream))
+        while stream.accept_symbol(","):
+            values.append(_expect_literal(stream))
+        stream.expect_symbol(closer)
+    return values
+
+
+def _expect_literal(stream: TokenStream):
+    token = stream.next()
+    if token.kind == NUMBER:
+        return float(token.text) if "." in token.text else int(token.text)
+    if token.kind == STRING:
+        return token.text
+    raise ParseError(f"expected a literal, got {token.text!r}",
+                     token.position)

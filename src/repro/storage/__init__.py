@@ -1,0 +1,47 @@
+"""COHANA's chunked, compressed columnar storage format (Section 4.1)."""
+
+from repro.storage.bitpack import PackedArray, bits_needed, pack
+from repro.storage.chunk import Chunk, encoded_column_kind
+from repro.storage.delta import (
+    DeltaEncodedColumn,
+    GlobalRange,
+    encode_chunk_integers,
+)
+from repro.storage.dictionary import (
+    DictEncodedColumn,
+    GlobalDictionary,
+    encode_chunk_strings,
+)
+from repro.storage.format import deserialize, load, save, serialize
+from repro.storage.raw import RawFloatColumn
+from repro.storage.reader import CompressedActivityTable
+from repro.storage.rle import RleColumn, encode_users
+from repro.storage.stats import ColumnStats, StorageStats, collect_stats
+from repro.storage.writer import DEFAULT_CHUNK_ROWS, compress
+
+__all__ = [
+    "Chunk",
+    "ColumnStats",
+    "CompressedActivityTable",
+    "DEFAULT_CHUNK_ROWS",
+    "DeltaEncodedColumn",
+    "DictEncodedColumn",
+    "GlobalDictionary",
+    "GlobalRange",
+    "PackedArray",
+    "RawFloatColumn",
+    "RleColumn",
+    "StorageStats",
+    "bits_needed",
+    "collect_stats",
+    "compress",
+    "deserialize",
+    "encode_chunk_integers",
+    "encode_chunk_strings",
+    "encode_users",
+    "encoded_column_kind",
+    "load",
+    "pack",
+    "save",
+    "serialize",
+]

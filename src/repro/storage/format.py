@@ -1,0 +1,273 @@
+"""Binary (de)serialization of compressed activity tables.
+
+A ``.cohana`` file is a self-describing little-endian container::
+
+    magic "COHANA01" | version u16
+    schema           (column name / type / role triples)
+    target_chunk_rows u64
+    global dictionaries (per string column)
+    global ranges       (per integer column)
+    chunks              (n_rows, RLE user column, encoded segments)
+
+The format favours simplicity and determinism over minimum size; the
+compression itself lives in the per-column encoders.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.schema import ActivitySchema, ColumnRole, ColumnSpec, LogicalType
+from repro.storage.bitpack import PackedArray
+from repro.storage.chunk import Chunk
+from repro.storage.delta import DeltaEncodedColumn, GlobalRange
+from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
+from repro.storage.raw import RawFloatColumn
+from repro.storage.reader import CompressedActivityTable
+from repro.storage.rle import RleColumn
+
+MAGIC = b"COHANA01"
+VERSION = 1
+
+_KIND_DICT = 0
+_KIND_DELTA = 1
+_KIND_RAW = 2
+
+
+class _Writer:
+    """Append-only little-endian byte buffer."""
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+
+    def bytes_(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def u8(self, v: int) -> None:
+        self._parts.append(struct.pack("<B", v))
+
+    def u16(self, v: int) -> None:
+        self._parts.append(struct.pack("<H", v))
+
+    def u32(self, v: int) -> None:
+        self._parts.append(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self._parts.append(struct.pack("<Q", v))
+
+    def i64(self, v: int) -> None:
+        self._parts.append(struct.pack("<q", v))
+
+    def lp_str(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.u32(len(data))
+        self.bytes_(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Sequential little-endian byte reader with bounds checking."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def bytes_(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise StorageError("truncated .cohana data")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self.bytes_(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.bytes_(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.bytes_(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.bytes_(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.bytes_(8))[0]
+
+    def lp_str(self) -> str:
+        return self.bytes_(self.u32()).decode("utf-8")
+
+    def at_end(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# -- packed arrays ----------------------------------------------------------
+
+def _write_packed(w: _Writer, packed: PackedArray) -> None:
+    w.u8(packed.bit_width)
+    w.u64(packed.count)
+    w.u64(len(packed.words))
+    w.bytes_(packed.words.astype("<u8").tobytes())
+
+
+def _read_packed(r: _Reader) -> PackedArray:
+    bit_width = r.u8()
+    count = r.u64()
+    n_words = r.u64()
+    words = np.frombuffer(r.bytes_(n_words * 8), dtype="<u8").astype(np.uint64)
+    return PackedArray(words=words, bit_width=bit_width, count=count)
+
+
+# -- columns ------------------------------------------------------------------
+
+def _write_column(w: _Writer, col) -> None:
+    if isinstance(col, DictEncodedColumn):
+        w.u8(_KIND_DICT)
+        _write_packed(w, col.chunk_dict)
+        _write_packed(w, col.chunk_ids)
+    elif isinstance(col, DeltaEncodedColumn):
+        w.u8(_KIND_DELTA)
+        w.i64(col.min_value)
+        w.i64(col.max_value)
+        _write_packed(w, col.deltas)
+    elif isinstance(col, RawFloatColumn):
+        w.u8(_KIND_RAW)
+        w.u64(len(col))
+        w.bytes_(col.values.astype("<f8").tobytes())
+    else:  # pragma: no cover - defensive
+        raise StorageError(f"unknown column segment type: {type(col)}")
+
+
+def _read_column(r: _Reader):
+    kind = r.u8()
+    if kind == _KIND_DICT:
+        chunk_dict = _read_packed(r)
+        chunk_ids = _read_packed(r)
+        return DictEncodedColumn(chunk_dict=chunk_dict, chunk_ids=chunk_ids)
+    if kind == _KIND_DELTA:
+        lo = r.i64()
+        hi = r.i64()
+        deltas = _read_packed(r)
+        return DeltaEncodedColumn(min_value=lo, max_value=hi, deltas=deltas)
+    if kind == _KIND_RAW:
+        n = r.u64()
+        values = np.frombuffer(r.bytes_(n * 8), dtype="<f8").astype(np.float64)
+        if values.size == 0:
+            return RawFloatColumn(values, 0.0, 0.0)
+        return RawFloatColumn(values, float(values.min()),
+                              float(values.max()))
+    raise StorageError(f"unknown column kind byte: {kind}")
+
+
+# -- top level ----------------------------------------------------------------
+
+def serialize(table: CompressedActivityTable) -> bytes:
+    """Encode a compressed activity table to bytes."""
+    w = _Writer()
+    w.bytes_(MAGIC)
+    w.u16(VERSION)
+    w.u32(len(table.schema))
+    for spec in table.schema:
+        w.lp_str(spec.name)
+        w.lp_str(spec.ltype.value)
+        w.lp_str(spec.role.value)
+    w.u64(table.target_chunk_rows)
+    w.u32(len(table.global_dicts))
+    for name in sorted(table.global_dicts):
+        w.lp_str(name)
+        gdict = table.global_dicts[name]
+        w.u64(len(gdict))
+        for value in gdict.values:
+            w.lp_str(value)
+    w.u32(len(table.global_ranges))
+    for name in sorted(table.global_ranges):
+        w.lp_str(name)
+        rng = table.global_ranges[name]
+        w.i64(rng.min_value)
+        w.i64(rng.max_value)
+    w.u32(len(table.chunks))
+    for chunk in table.chunks:
+        w.u64(chunk.n_rows)
+        _write_packed(w, chunk.users.user_ids)
+        _write_packed(w, chunk.users.starts)
+        _write_packed(w, chunk.users.counts)
+        w.u32(len(chunk.columns))
+        for name in sorted(chunk.columns):
+            w.lp_str(name)
+            _write_column(w, chunk.columns[name])
+    return w.getvalue()
+
+
+def deserialize(data: bytes) -> CompressedActivityTable:
+    """Decode bytes produced by :func:`serialize`.
+
+    Raises:
+        StorageError: on a bad magic number, unsupported version, or
+            truncated/corrupt payload.
+    """
+    r = _Reader(data)
+    if r.bytes_(len(MAGIC)) != MAGIC:
+        raise StorageError("not a .cohana file (bad magic)")
+    version = r.u16()
+    if version != VERSION:
+        raise StorageError(f"unsupported .cohana version {version}")
+    n_cols = r.u32()
+    specs = []
+    for _ in range(n_cols):
+        name = r.lp_str()
+        ltype = LogicalType(r.lp_str())
+        role = ColumnRole(r.lp_str())
+        specs.append(ColumnSpec(name, ltype, role))
+    schema = ActivitySchema(tuple(specs))
+    target_chunk_rows = r.u64()
+    global_dicts: dict[str, GlobalDictionary] = {}
+    for _ in range(r.u32()):
+        name = r.lp_str()
+        values = tuple(r.lp_str() for _ in range(r.u64()))
+        global_dicts[name] = GlobalDictionary(values)
+    global_ranges: dict[str, GlobalRange] = {}
+    for _ in range(r.u32()):
+        name = r.lp_str()
+        global_ranges[name] = GlobalRange(r.i64(), r.i64())
+    chunks: list[Chunk] = []
+    for index in range(r.u32()):
+        n_rows = r.u64()
+        users = RleColumn(
+            user_ids=_read_packed(r),
+            starts=_read_packed(r),
+            counts=_read_packed(r),
+            n_rows=n_rows,
+        )
+        columns = {}
+        for _ in range(r.u32()):
+            name = r.lp_str()
+            columns[name] = _read_column(r)
+        chunks.append(Chunk(index=index, n_rows=n_rows, users=users,
+                            columns=columns))
+    if not r.at_end():
+        raise StorageError("trailing bytes after .cohana payload")
+    return CompressedActivityTable(
+        schema=schema,
+        global_dicts=global_dicts,
+        global_ranges=global_ranges,
+        chunks=chunks,
+        target_chunk_rows=target_chunk_rows,
+    )
+
+
+def save(table: CompressedActivityTable, path: str | Path) -> int:
+    """Write ``table`` to ``path``; returns bytes written."""
+    data = serialize(table)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load(path: str | Path) -> CompressedActivityTable:
+    """Read a compressed activity table from ``path``."""
+    return deserialize(Path(path).read_bytes())

@@ -1,0 +1,51 @@
+"""Uncompressed float column segments.
+
+The paper's dataset only has integer measures, but the library accepts
+FLOAT measures (e.g. pre-computed rates); those are stored as raw float64
+with per-chunk MIN/MAX for pruning parity with the delta encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RawFloatColumn:
+    """One chunk's segment of a float column, stored uncompressed."""
+
+    values: np.ndarray
+    min_value: float
+    max_value: float
+
+    @classmethod
+    def encode(cls, values) -> "RawFloatColumn":
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return cls(arr, 0.0, 0.0)
+        return cls(arr, float(arr.min()), float(arr.max()))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes) + 16
+
+    def overlaps(self, low: float | None, high: float | None) -> bool:
+        """Pruning check analogous to the delta encoder's."""
+        if self.values.size == 0:
+            return False
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+    def decode(self) -> np.ndarray:
+        return self.values
+
+    def value_at(self, position: int) -> float:
+        return float(self.values[position])
+
+    def __len__(self) -> int:
+        return int(self.values.size)

@@ -1,0 +1,135 @@
+"""The compressed activity table: chunks + global metadata.
+
+A :class:`CompressedActivityTable` is what the COHANA engine executes
+against. It owns the global dictionaries (strings), global ranges
+(integers) and the chunk list; it can decode itself back to a plain
+:class:`~repro.table.ActivityTable` (used by round-trip tests) and answers
+the pruning questions the planner asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.schema import ActivitySchema, ColumnRole, LogicalType
+from repro.storage.chunk import Chunk
+from repro.storage.delta import DeltaEncodedColumn, GlobalRange
+from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
+from repro.table import ActivityTable
+
+
+@dataclass
+class CompressedActivityTable:
+    """A chunked, compressed activity table (the on-disk unit).
+
+    Attributes:
+        schema: the activity schema.
+        global_dicts: global dictionary per string column (incl. user).
+        global_ranges: global MIN/MAX per integer column.
+        chunks: the horizontal partitions, in row order.
+        target_chunk_rows: the writer's chunk-size setting.
+    """
+
+    schema: ActivitySchema
+    global_dicts: dict[str, GlobalDictionary]
+    global_ranges: dict[str, GlobalRange]
+    chunks: list[Chunk]
+    target_chunk_rows: int
+
+    @property
+    def n_rows(self) -> int:
+        """Total tuples across all chunks."""
+        return sum(c.n_rows for c in self.chunks)
+
+    @property
+    def n_users(self) -> int:
+        """Total distinct users (sums per-chunk counts; valid because a
+        user lives in exactly one chunk)."""
+        return sum(c.n_users for c in self.chunks)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size: chunks + global dictionaries + ranges."""
+        total = sum(c.nbytes for c in self.chunks)
+        total += sum(d.nbytes for d in self.global_dicts.values())
+        total += 16 * len(self.global_ranges)
+        return total
+
+    # -- value/id mapping ----------------------------------------------------
+
+    def dictionary(self, column: str) -> GlobalDictionary:
+        """The global dictionary of a string column."""
+        try:
+            return self.global_dicts[column]
+        except KeyError:
+            raise StorageError(
+                f"column {column!r} has no global dictionary") from None
+
+    def global_id(self, column: str, value: str) -> int | None:
+        """Global id of ``value`` in ``column``, or None if absent
+        anywhere in the table (queries naming such values match nothing)."""
+        return self.dictionary(column).global_id(value)
+
+    def value_of(self, column: str, global_id: int) -> str:
+        """Inverse of :meth:`global_id`."""
+        return self.dictionary(column).value(int(global_id))
+
+    def user_name(self, global_id: int) -> str:
+        """The user string for a global user id."""
+        return self.value_of(self.schema.user.name, global_id)
+
+    # -- pruning -------------------------------------------------------------
+
+    def chunk_may_contain_action(self, chunk: Chunk,
+                                 action_global_id: int) -> bool:
+        """Section 4.1 pruning: binary-search the action chunk dictionary."""
+        col = chunk.column(self.schema.action.name)
+        if not isinstance(col, DictEncodedColumn):  # pragma: no cover
+            raise StorageError("action column must be dictionary encoded")
+        return col.contains_global_id(action_global_id)
+
+    def chunk_overlaps_range(self, chunk: Chunk, column: str,
+                             low: int | None, high: int | None) -> bool:
+        """Section 4.1 pruning: chunk MIN/MAX intersection for integers."""
+        col = chunk.column(column)
+        if isinstance(col, (DeltaEncodedColumn,)):
+            return col.overlaps(low, high)
+        raise StorageError(
+            f"range pruning requires an integer column, got {column!r}")
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode_chunk(self, chunk: Chunk) -> ActivityTable:
+        """Materialize one chunk back into a plain activity table."""
+        columns: dict[str, np.ndarray] = {}
+        for spec in self.schema:
+            if spec.role is ColumnRole.USER:
+                gids = chunk.user_global_ids()
+                columns[spec.name] = self.dictionary(spec.name).decode(gids)
+            elif spec.ltype is LogicalType.STRING:
+                codes = chunk.decode_codes(spec.name)
+                columns[spec.name] = self.dictionary(spec.name).decode(codes)
+            else:
+                columns[spec.name] = chunk.decode_codes(spec.name)
+        return ActivityTable(self.schema, columns)
+
+    def decompress(self) -> ActivityTable:
+        """Materialize the whole table (round-trip of the writer)."""
+        if not self.chunks:
+            return ActivityTable.empty(self.schema)
+        table = self.decode_chunk(self.chunks[0])
+        for chunk in self.chunks[1:]:
+            table = table.concat(self.decode_chunk(chunk))
+        return table
+
+    def __repr__(self) -> str:
+        return (f"CompressedActivityTable({self.n_rows} rows, "
+                f"{self.n_users} users, {self.n_chunks} chunks, "
+                f"{self.nbytes} bytes)")

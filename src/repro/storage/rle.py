@@ -1,0 +1,94 @@
+"""Run-length encoding for the user column (Section 4.1).
+
+The user column of a sorted activity table is a sequence of runs — all of
+a user's tuples are adjacent (the clustering property). The paper stores it
+as triples ``(u, f, n)``: the user, the position of its first tuple, and
+its tuple count. The modified TableScan walks these triples directly, which
+is what makes ``GetNextUser()`` / ``SkipCurUser()`` O(1).
+
+Here ``u`` is the user's *global dictionary id* (users, like all strings,
+are dictionary encoded); the triple arrays themselves are bit-packed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage.bitpack import PackedArray, pack
+
+
+@dataclass(frozen=True)
+class RleColumn:
+    """RLE triples for one chunk's user column.
+
+    Attributes:
+        user_ids: packed global ids, one per run.
+        starts: packed first-tuple positions, one per run.
+        counts: packed run lengths, one per run.
+        n_rows: total tuples covered.
+    """
+
+    user_ids: PackedArray
+    starts: PackedArray
+    counts: PackedArray
+    n_rows: int
+
+    @property
+    def n_users(self) -> int:
+        """Number of runs (== distinct users in the chunk)."""
+        return len(self.user_ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size of the three packed triple arrays."""
+        return self.user_ids.nbytes + self.starts.nbytes + self.counts.nbytes
+
+    def triples(self) -> list[tuple[int, int, int]]:
+        """All ``(u, f, n)`` triples, decoded."""
+        return list(zip(self.user_ids.unpack().tolist(),
+                        self.starts.unpack().tolist(),
+                        self.counts.unpack().tolist()))
+
+    def triple(self, run: int) -> tuple[int, int, int]:
+        """The ``(u, f, n)`` triple of run ``run``."""
+        return (self.user_ids.get(run), self.starts.get(run),
+                self.counts.get(run))
+
+    def expand(self) -> np.ndarray:
+        """Decode to one global user id per row (vectorized)."""
+        ids = self.user_ids.unpack()
+        counts = self.counts.unpack()
+        return np.repeat(ids, counts)
+
+
+def encode_users(global_ids: np.ndarray | list) -> RleColumn:
+    """RLE-encode a chunk's user column given per-row global ids.
+
+    The input must be clustered (equal ids adjacent); the writer guarantees
+    this because the table is sorted by primary key.
+
+    Raises:
+        EncodingError: if the same id appears in two non-adjacent runs,
+            which would violate the clustering property.
+    """
+    arr = np.asarray(global_ids, dtype=np.int64)
+    if arr.size == 0:
+        empty = pack([], bit_width=1)
+        return RleColumn(empty, empty, empty, n_rows=0)
+    boundaries = np.flatnonzero(np.diff(arr) != 0) + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    stops = np.concatenate([boundaries, [arr.size]]).astype(np.int64)
+    run_ids = arr[starts]
+    if len(set(run_ids.tolist())) != run_ids.size:
+        raise EncodingError(
+            "user column is not clustered: a user id appears in two "
+            "separate runs")
+    return RleColumn(
+        user_ids=pack(run_ids),
+        starts=pack(starts),
+        counts=pack(stops - starts),
+        n_rows=int(arr.size),
+    )

@@ -1,0 +1,92 @@
+"""Storage accounting for Figure 7 (storage space vs chunk size).
+
+Breaks a compressed activity table's footprint down by column and by
+structural component (dictionaries, RLE triples, packed payloads), which
+is what the chunk-size experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.delta import DeltaEncodedColumn
+from repro.storage.dictionary import DictEncodedColumn
+from repro.storage.raw import RawFloatColumn
+from repro.storage.reader import CompressedActivityTable
+
+
+@dataclass
+class ColumnStats:
+    """Per-column storage breakdown (bytes)."""
+
+    name: str
+    kind: str
+    payload_bytes: int = 0
+    dictionary_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.dictionary_bytes
+
+
+@dataclass
+class StorageStats:
+    """Whole-table storage breakdown.
+
+    Attributes:
+        n_rows: total tuples.
+        n_chunks: chunk count.
+        user_rle_bytes: RLE triples for the user column, all chunks.
+        global_dict_bytes: global dictionaries (string columns).
+        columns: per non-user column stats.
+    """
+
+    n_rows: int
+    n_chunks: int
+    target_chunk_rows: int
+    user_rle_bytes: int
+    global_dict_bytes: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.user_rle_bytes + self.global_dict_bytes
+                + sum(c.total_bytes for c in self.columns.values()))
+
+    @property
+    def bits_per_tuple(self) -> float:
+        """Average compressed bits per activity tuple."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.n_rows
+
+
+def collect_stats(table: CompressedActivityTable) -> StorageStats:
+    """Measure ``table``'s storage footprint component by component."""
+    stats = StorageStats(
+        n_rows=table.n_rows,
+        n_chunks=table.n_chunks,
+        target_chunk_rows=table.target_chunk_rows,
+        user_rle_bytes=sum(c.users.nbytes for c in table.chunks),
+        global_dict_bytes=sum(d.nbytes for d in table.global_dicts.values()),
+    )
+    for chunk in table.chunks:
+        for name, col in chunk.columns.items():
+            if isinstance(col, DictEncodedColumn):
+                kind = "dict"
+                payload = col.chunk_ids.nbytes
+                dictionary = col.chunk_dict.nbytes
+            elif isinstance(col, DeltaEncodedColumn):
+                kind = "delta"
+                payload = col.nbytes
+                dictionary = 0
+            elif isinstance(col, RawFloatColumn):
+                kind = "raw"
+                payload = col.nbytes
+                dictionary = 0
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown segment type {type(col)}")
+            entry = stats.columns.setdefault(name, ColumnStats(name, kind))
+            entry.payload_bytes += payload
+            entry.dictionary_bytes += dictionary
+    return stats

@@ -1,0 +1,240 @@
+"""In-memory activity tables.
+
+An :class:`ActivityTable` pairs an :class:`~repro.schema.ActivitySchema`
+with one numpy array per column. It is the interchange format of the whole
+library: the data generator produces one, the COHANA writer compresses one,
+the relational engines load one as a base table, and the cohort-algebra
+oracle evaluates Definitions 1–6 directly against one.
+
+The paper stores activity tables sorted by the primary key
+``(Au, At, Ae)`` which yields the *clustering* property (a user's tuples
+are contiguous) and the *time-ordering* property (each user's tuples are
+chronological). :meth:`ActivityTable.sorted_by_primary_key` produces that
+layout and :meth:`ActivityTable.user_blocks` exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PrimaryKeyError, SchemaError
+from repro.schema import ActivitySchema, ColumnSpec, LogicalType, coerce_value
+
+
+class ActivityTable:
+    """A columnar, immutable-by-convention activity table.
+
+    Attributes:
+        schema: the table's :class:`ActivitySchema`.
+    """
+
+    def __init__(self, schema: ActivitySchema,
+                 columns: Mapping[str, np.ndarray | Sequence]):
+        self.schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        length = None
+        for spec in schema:
+            if spec.name not in columns:
+                raise SchemaError(f"missing column data for {spec.name!r}")
+            arr = _as_array(columns[spec.name], spec)
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise SchemaError(
+                    f"column {spec.name!r} has {len(arr)} values, "
+                    f"expected {length}")
+            self._columns[spec.name] = arr
+        extra = set(columns) - set(schema.names())
+        if extra:
+            raise SchemaError(f"columns not in schema: {sorted(extra)}")
+        self._length = length if length is not None else 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: ActivitySchema,
+                  rows: Iterable[Sequence | Mapping]) -> "ActivityTable":
+        """Build a table from an iterable of row tuples or row dicts.
+
+        Values are coerced to the schema's types (so timestamp strings in
+        the paper's ``2013/05/19:1000`` format are accepted).
+        """
+        names = schema.names()
+        buffers: dict[str, list] = {name: [] for name in names}
+        for row in rows:
+            if isinstance(row, Mapping):
+                values = [row[name] for name in names]
+            else:
+                if len(row) != len(names):
+                    raise SchemaError(
+                        f"row has {len(row)} values, expected {len(names)}")
+                values = list(row)
+            for name, value in zip(names, values):
+                buffers[name].append(
+                    coerce_value(value, schema.column(name).ltype))
+        return cls(schema, buffers)
+
+    @classmethod
+    def empty(cls, schema: ActivitySchema) -> "ActivityTable":
+        """An activity table with zero rows."""
+        return cls(schema, {c.name: [] for c in schema})
+
+    # -- basic accessors ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        """The backing array for ``name`` (do not mutate)."""
+        self.schema.column(name)
+        return self._columns[name]
+
+    @property
+    def users(self) -> np.ndarray:
+        """The Au column."""
+        return self._columns[self.schema.user.name]
+
+    @property
+    def times(self) -> np.ndarray:
+        """The At column (int64 epoch seconds)."""
+        return self._columns[self.schema.time.name]
+
+    @property
+    def actions(self) -> np.ndarray:
+        """The Ae column."""
+        return self._columns[self.schema.action.name]
+
+    def row(self, i: int) -> dict:
+        """Row ``i`` as a ``{column: value}`` dict."""
+        return {name: _as_python(self._columns[name][i])
+                for name in self.schema.names()}
+
+    def iter_rows(self) -> Iterator[dict]:
+        """Iterate rows as dicts (slow; for tests and small tables)."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def to_rows(self) -> list[tuple]:
+        """All rows as tuples in schema column order."""
+        names = self.schema.names()
+        cols = [self._columns[n] for n in names]
+        return [tuple(_as_python(col[i]) for col in cols)
+                for i in range(self._length)]
+
+    def take(self, indices: np.ndarray) -> "ActivityTable":
+        """A new table containing the rows at ``indices`` (in that order)."""
+        return ActivityTable(
+            self.schema,
+            {name: arr[indices] for name, arr in self._columns.items()})
+
+    def slice(self, start: int, stop: int) -> "ActivityTable":
+        """A new table containing rows ``start:stop``."""
+        return ActivityTable(
+            self.schema,
+            {name: arr[start:stop] for name, arr in self._columns.items()})
+
+    def concat(self, other: "ActivityTable") -> "ActivityTable":
+        """Concatenate two tables that share a schema."""
+        if other.schema != self.schema:
+            raise SchemaError("cannot concat tables with different schemas")
+        return ActivityTable(
+            self.schema,
+            {name: np.concatenate([self._columns[name],
+                                   other._columns[name]])
+             for name in self.schema.names()})
+
+    # -- primary key & layout ------------------------------------------------
+
+    def primary_key_rows(self) -> list[tuple]:
+        """The (Au, At, Ae) triple of every row."""
+        u, t, a = self.users, self.times, self.actions
+        return [(u[i], int(t[i]), a[i]) for i in range(self._length)]
+
+    def check_primary_key(self) -> None:
+        """Raise :class:`PrimaryKeyError` on duplicate (Au, At, Ae)."""
+        seen: set[tuple] = set()
+        for key in self.primary_key_rows():
+            if key in seen:
+                raise PrimaryKeyError(
+                    f"duplicate primary key {key!r}: each user may perform "
+                    "a given action at most once per time instant")
+            seen.add(key)
+
+    def sorted_by_primary_key(self) -> "ActivityTable":
+        """Return a copy sorted by (Au, At, Ae).
+
+        This is the paper's storage order: it clusters each user's tuples
+        and orders them chronologically (Section 4.1).
+        """
+        u = self.users
+        t = self.times
+        a = self.actions
+        order = sorted(range(self._length),
+                       key=lambda i: (u[i], int(t[i]), a[i]))
+        return self.take(np.asarray(order, dtype=np.int64))
+
+    def is_sorted_by_primary_key(self) -> bool:
+        """True if rows are already in (Au, At, Ae) order."""
+        keys = self.primary_key_rows()
+        return all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+
+    def user_blocks(self) -> Iterator[tuple[str, int, int]]:
+        """Iterate ``(user, start, stop)`` runs of a sorted table.
+
+        Requires the clustering property: call on a table produced by
+        :meth:`sorted_by_primary_key` (or otherwise user-clustered).
+        """
+        users = self.users
+        n = self._length
+        start = 0
+        while start < n:
+            stop = start + 1
+            while stop < n and users[stop] == users[start]:
+                stop += 1
+            yield str(users[start]), start, stop
+            start = stop
+
+    def distinct_users(self) -> list[str]:
+        """Sorted list of distinct user ids."""
+        return sorted(set(self.users.tolist()))
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ActivityTable):
+            return NotImplemented
+        return (self.schema == other.schema
+                and self.to_rows() == other.to_rows())
+
+    def __repr__(self) -> str:
+        return (f"ActivityTable({self._length} rows, "
+                f"columns={self.schema.names()})")
+
+
+def _as_array(values, spec: ColumnSpec) -> np.ndarray:
+    dtype = spec.ltype.numpy_dtype()
+    if isinstance(values, np.ndarray):
+        if spec.ltype is LogicalType.STRING:
+            if values.dtype == object or values.dtype.kind in ("U", "S"):
+                return values.astype(object)
+            raise SchemaError(
+                f"column {spec.name!r} expects strings, got {values.dtype}")
+        return values.astype(dtype, copy=False)
+    arr = np.empty(len(values), dtype=dtype)
+    if spec.ltype is LogicalType.STRING:
+        for i, v in enumerate(values):
+            if not isinstance(v, str):
+                raise SchemaError(
+                    f"column {spec.name!r} expects strings, got {v!r}")
+            arr[i] = v
+    else:
+        arr[:] = values
+    return arr
+
+
+def _as_python(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

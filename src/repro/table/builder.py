@@ -1,0 +1,74 @@
+"""Incremental construction of activity tables."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema import ActivitySchema, coerce_value
+from repro.table.activity import ActivityTable
+
+
+class ActivityTableBuilder:
+    """Accumulates rows and produces an :class:`ActivityTable`.
+
+    Example:
+        >>> from repro.schema import ActivitySchema
+        >>> schema = ActivitySchema.build("player", "time", "action",
+        ...                               dimensions=["country"],
+        ...                               measures=["gold"])
+        >>> b = ActivityTableBuilder(schema)
+        >>> b.append(player="001", time="2013/05/19:1000",
+        ...          action="launch", country="Australia", gold=0)
+        >>> table = b.build()
+        >>> len(table)
+        1
+    """
+
+    def __init__(self, schema: ActivitySchema):
+        self.schema = schema
+        self._buffers: dict[str, list] = {name: [] for name in schema.names()}
+        self._count = 0
+
+    def append(self, **values) -> "ActivityTableBuilder":
+        """Append one activity tuple given as keyword arguments.
+
+        Every schema column must be supplied; values are coerced to the
+        column types. Returns self for chaining.
+        """
+        missing = [n for n in self.schema.names() if n not in values]
+        if missing:
+            raise SchemaError(f"missing values for columns: {missing}")
+        extra = [n for n in values if n not in self.schema]
+        if extra:
+            raise SchemaError(f"unknown columns: {extra}")
+        for name in self.schema.names():
+            ltype = self.schema.column(name).ltype
+            self._buffers[name].append(coerce_value(values[name], ltype))
+        self._count += 1
+        return self
+
+    def append_row(self, row) -> "ActivityTableBuilder":
+        """Append one row given as a sequence in schema column order."""
+        names = self.schema.names()
+        if len(row) != len(names):
+            raise SchemaError(
+                f"row has {len(row)} values, expected {len(names)}")
+        return self.append(**dict(zip(names, row)))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def build(self, sort: bool = True,
+              check_primary_key: bool = True) -> ActivityTable:
+        """Finish and return the table.
+
+        Args:
+            sort: sort by the (Au, At, Ae) primary key (the paper's
+                storage order).
+            check_primary_key: raise on duplicate (Au, At, Ae) triples.
+        """
+        table = ActivityTable(self.schema, self._buffers)
+        if check_primary_key:
+            table.check_primary_key()
+        if sort:
+            table = table.sorted_by_primary_key()
+        return table

@@ -1,0 +1,19 @@
+"""The paper's benchmark workload: queries Q1-Q8."""
+
+from repro.workloads.queries import (
+    DEFAULT_RANGE,
+    MAIN_QUERIES,
+    bind,
+    day_offset,
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+    q8,
+)
+
+__all__ = ["DEFAULT_RANGE", "MAIN_QUERIES", "bind", "day_offset",
+           "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"]

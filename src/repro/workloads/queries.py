@@ -1,0 +1,111 @@
+"""The paper's benchmark queries Q1-Q8 (Section 5.2).
+
+Q1-Q4 incrementally add operators: cohort aggregation alone (Q1),
++ birth selection (Q2), + age selection (Q3), and all three (Q4).
+Q5/Q6 are the birth-selection sweeps of Figure 8; Q7/Q8 the
+age-selection sweeps of Figure 9.
+
+Each function returns the query in the cohort query language; use
+:func:`bind` (or ``CohanaEngine.parse``) to get the bound
+:class:`~repro.cohort.CohortQuery` for a concrete schema.
+"""
+
+from __future__ import annotations
+
+from repro.cohana.binder import bind_cohort_query
+from repro.cohana.parser import parse_cohort_query
+from repro.cohort.query import CohortQuery
+from repro.schema import ActivitySchema, format_timestamp
+
+#: Default birth date range used by Q2/Q4 (the paper's 05-21..05-27).
+DEFAULT_RANGE = ("2013-05-21", "2013-05-27")
+
+
+def q1(table: str = "GameActions") -> str:
+    """Q1: retention of country launch cohorts."""
+    return (f"SELECT country, COHORTSIZE, AGE, UserCount() "
+            f"FROM {table} BIRTH FROM action = \"launch\" "
+            f"COHORT BY country")
+
+
+def q2(table: str = "GameActions",
+       date_range: tuple[str, str] = DEFAULT_RANGE) -> str:
+    """Q2: Q1 restricted to cohorts born in a date range."""
+    d1, d2 = date_range
+    return (f"SELECT country, COHORTSIZE, AGE, UserCount() "
+            f"FROM {table} BIRTH FROM action = \"launch\" AND "
+            f"time BETWEEN \"{d1}\" AND \"{d2}\" "
+            f"COHORT BY country")
+
+
+def q3(table: str = "GameActions") -> str:
+    """Q3: average shopping gold of country shop cohorts."""
+    return (f"SELECT country, COHORTSIZE, AGE, Avg(gold) "
+            f"FROM {table} BIRTH FROM action = \"shop\" "
+            f"AGE ACTIVITIES IN action = \"shop\" "
+            f"COHORT BY country")
+
+
+def q4(table: str = "GameActions",
+       date_range: tuple[str, str] = DEFAULT_RANGE) -> str:
+    """Q4: all three operators, with Birth(country) in the age filter."""
+    d1, d2 = date_range
+    return (f"SELECT country, COHORTSIZE, AGE, Avg(gold) "
+            f"FROM {table} BIRTH FROM action = \"shop\" AND "
+            f"time BETWEEN \"{d1}\" AND \"{d2}\" AND "
+            f"role = \"dwarf\" AND "
+            f"country IN [\"China\", \"Australia\", \"United States\"] "
+            f"AGE ACTIVITIES IN action = \"shop\" AND "
+            f"country = Birth(country) "
+            f"COHORT BY country")
+
+
+def q5(d1: str, d2: str, table: str = "GameActions") -> str:
+    """Q5: Q1 with a [d1, d2] birth-time window (Figure 8's sweep)."""
+    return (f"SELECT country, COHORTSIZE, AGE, UserCount() "
+            f"FROM {table} "
+            f"BIRTH FROM action = \"launch\" AND "
+            f"time BETWEEN \"{d1}\" AND \"{d2}\" "
+            f"COHORT BY country")
+
+
+def q6(d1: str, d2: str, table: str = "GameActions") -> str:
+    """Q6: Q3 with a [d1, d2] birth-time window (Figure 8's sweep)."""
+    return (f"SELECT country, COHORTSIZE, AGE, Avg(gold) "
+            f"FROM {table} "
+            f"BIRTH FROM action = \"shop\" AND "
+            f"time BETWEEN \"{d1}\" AND \"{d2}\" "
+            f"AGE ACTIVITIES IN action = \"shop\" "
+            f"COHORT BY country")
+
+
+def q7(g: int, table: str = "GameActions") -> str:
+    """Q7: Q1 restricted to ages below ``g`` days (Figure 9's sweep)."""
+    return (f"SELECT country, COHORTSIZE, AGE, UserCount() "
+            f"FROM {table} BIRTH FROM action = \"launch\" "
+            f"AGE ACTIVITIES IN AGE < {g} "
+            f"COHORT BY country")
+
+
+def q8(g: int, table: str = "GameActions") -> str:
+    """Q8: Q3 restricted to ages below ``g`` days (Figure 9's sweep)."""
+    return (f"SELECT country, COHORTSIZE, AGE, Avg(gold) "
+            f"FROM {table} BIRTH FROM action = \"shop\" "
+            f"AGE ACTIVITIES IN action = \"shop\" AND AGE < {g} "
+            f"COHORT BY country")
+
+
+#: The comparative-study queries of Figures 6 and 11, by name.
+MAIN_QUERIES = {"Q1": q1, "Q2": q2, "Q3": q3, "Q4": q4}
+
+
+def bind(text: str, schema: ActivitySchema,
+         **kw) -> CohortQuery:
+    """Parse + bind a query text for ``schema``."""
+    return bind_cohort_query(parse_cohort_query(text), schema, **kw)
+
+
+def day_offset(start: str, days: int) -> str:
+    """The date ``days`` after ``start`` (for building Q5/Q6 sweeps)."""
+    from repro.schema import parse_timestamp
+    return format_timestamp(parse_timestamp(start) + days * 86400)

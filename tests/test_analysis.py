@@ -1,0 +1,82 @@
+"""Tests for the retention-analysis helpers."""
+
+import pytest
+
+from repro.analysis import cohort_comparison, retention_matrix
+from repro.errors import QueryError
+from repro.cohana import CohanaEngine
+from repro.cohort import CohortResult
+from repro.datagen import GameConfig, generate
+from repro.workloads import q1
+
+RESULT = CohortResult(
+    columns=["country", "cohort_size", "age", "retained"],
+    rows=[
+        ("AU", 10, 1, 8), ("AU", 10, 2, 5),
+        ("CN", 20, 1, 10), ("CN", 20, 3, 4),
+    ],
+)
+
+
+class TestRetentionMatrix:
+    def test_rates(self):
+        matrix = retention_matrix(RESULT)
+        assert matrix.rate("AU", 1) == pytest.approx(0.8)
+        assert matrix.rate("AU", 2) == pytest.approx(0.5)
+        assert matrix.rate("CN", 1) == pytest.approx(0.5)
+        assert matrix.rate("AU", 3) is None
+        assert matrix.rate("Narnia", 1) is None
+
+    def test_overall_curve_weighted(self):
+        curve = retention_matrix(RESULT).overall_curve()
+        # age 1: (8 + 10) / (10 + 20)
+        assert curve[1] == pytest.approx(18 / 30)
+        # age 2: only AU observed -> 5/10
+        assert curve[2] == pytest.approx(0.5)
+        # age 3: only CN observed -> 4/20
+        assert curve[3] == pytest.approx(0.2)
+
+    def test_count_exceeding_size_rejected(self):
+        bad = CohortResult(
+            columns=["country", "cohort_size", "age", "retained"],
+            rows=[("AU", 3, 1, 5)])
+        with pytest.raises(QueryError, match="exceeds cohort size"):
+            retention_matrix(bad)
+
+    def test_to_text_triangle(self):
+        text = retention_matrix(RESULT).to_text()
+        assert "80%" in text
+        assert "." in text  # unobserved buckets
+        assert "AU (10)" in text
+
+    def test_rates_never_exceed_one_on_real_workload(self):
+        table = generate(GameConfig(n_users=40, seed=9))
+        engine = CohanaEngine()
+        engine.create_table("GameActions", table,
+                            target_chunk_rows=512)
+        matrix = retention_matrix(engine.query(q1()))
+        for row in matrix.rates:
+            for rate in row:
+                assert rate is None or 0.0 < rate <= 1.0
+
+    def test_age_one_retention_is_maximal_on_average(self):
+        """Aging effect: overall retention at age 1 beats age 14."""
+        table = generate(GameConfig(n_users=80, seed=21))
+        engine = CohanaEngine()
+        engine.create_table("GameActions", table,
+                            target_chunk_rows=2048)
+        curve = retention_matrix(engine.query(q1())).overall_curve()
+        assert curve[1] > curve.get(14, 0.0)
+
+
+class TestCohortComparison:
+    def test_ranking(self):
+        ranked = cohort_comparison(RESULT, at_age=1)
+        assert ranked == [("CN", 20, 10), ("AU", 10, 8)]
+
+    def test_missing_age_excluded(self):
+        ranked = cohort_comparison(RESULT, at_age=2)
+        assert ranked == [("AU", 10, 5)]
+
+    def test_empty_for_unobserved_age(self):
+        assert cohort_comparison(RESULT, at_age=99) == []

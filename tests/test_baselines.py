@@ -1,0 +1,226 @@
+"""Tests for the SQL and MV schemes: worked examples + 6-way differential."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.baselines import (
+    SYSTEMS,
+    MvScheme,
+    SqlScheme,
+    cohort_query_to_sql,
+    mv_creation_sql,
+    prepare_system,
+    run_everywhere,
+)
+from repro.cohort import (
+    AggregateSpec,
+    Between,
+    CohortQuery,
+    Compare,
+    age_ref,
+    attr,
+    birth,
+    conjoin,
+    eq,
+    evaluate as oracle_evaluate,
+    lit,
+)
+from repro.relational import Database
+from repro.table import ActivityTable
+
+from conftest import make_game_schema, make_table1
+
+Q1 = CohortQuery(
+    birth_action="launch",
+    cohort_by=("country",),
+    aggregates=(AggregateSpec("SUM", "gold", "spent"),),
+    birth_condition=eq("role", "dwarf"),
+    age_condition=eq("action", "shop"),
+    table="D",
+)
+
+
+def make_sql_scheme(executor="rows"):
+    db = Database(executor=executor)
+    table = make_table1()
+    db.register_activity_table("D", table)
+    return SqlScheme(db, "D", table.schema)
+
+
+def make_mv_scheme(executor="rows", birth_actions=("launch", "shop")):
+    db = Database(executor=executor)
+    table = make_table1()
+    db.register_activity_table("D", table)
+    scheme = MvScheme(db, "D", table.schema)
+    for action in birth_actions:
+        scheme.prepare(action)
+    return scheme
+
+
+class TestSqlScheme:
+    def test_q1_matches_oracle(self):
+        expected = oracle_evaluate(Q1, make_table1())
+        for executor in ("rows", "columnar"):
+            got = make_sql_scheme(executor).run(Q1)
+            assert got.rows == expected.rows
+
+    def test_generated_sql_shape(self, game_schema):
+        sql = cohort_query_to_sql(Q1, game_schema, "D")
+        assert "WITH birth AS" in sql
+        assert "Min(time)" in sql
+        assert "qualified" in sql
+        assert "Count(DISTINCT p) AS cohort_size" in sql
+        assert "rawage > 0" in sql
+
+    def test_usercount_translated_to_count_distinct(self, game_schema):
+        query = CohortQuery(
+            birth_action="launch", cohort_by=("country",),
+            aggregates=(AggregateSpec("USERCOUNT", None, "retained"),),
+            table="D")
+        sql = cohort_query_to_sql(query, game_schema, "D")
+        assert "Count(DISTINCT l.p) AS retained" in sql
+
+    def test_birth_function_in_age_condition(self):
+        query = CohortQuery(
+            birth_action="shop", cohort_by=("country",),
+            aggregates=(AggregateSpec("AVG", "gold", "m"),),
+            age_condition=Compare(attr("role"), "=", birth("role")),
+            table="D")
+        expected = oracle_evaluate(query, make_table1())
+        got = make_sql_scheme().run(query)
+        assert _approx(got.rows) == _approx(expected.rows)
+
+    def test_age_keyword_in_age_condition(self):
+        query = CohortQuery(
+            birth_action="launch", cohort_by=("country",),
+            aggregates=(AggregateSpec("USERCOUNT", None, "m"),),
+            age_condition=Compare(age_ref(), "<", lit(2)),
+            table="D")
+        expected = oracle_evaluate(query, make_table1())
+        assert make_sql_scheme().run(query).rows == expected.rows
+
+    def test_time_cohorts(self):
+        from repro.schema import parse_timestamp
+        query = CohortQuery(
+            birth_action="launch", cohort_by=("time",),
+            aggregates=(AggregateSpec("COUNT", None, "n"),),
+            cohort_time_bin="week",
+            time_bin_origin=parse_timestamp("2013-05-19"),
+            table="D")
+        expected = oracle_evaluate(query, make_table1())
+        assert make_sql_scheme().run(query).rows == expected.rows
+
+
+class TestMvScheme:
+    def test_q1_matches_oracle(self):
+        expected = oracle_evaluate(Q1, make_table1())
+        for executor in ("rows", "columnar"):
+            got = make_mv_scheme(executor).run(Q1)
+            assert got.rows == expected.rows
+
+    def test_mv_contains_birth_attributes(self, game_schema):
+        sql = mv_creation_sql(game_schema, "D", "launch")
+        assert "b_role" in sql and "b_country" in sql
+        assert "rawage" in sql
+
+    def test_mv_row_count_equals_born_users_tuples(self):
+        scheme = make_mv_scheme(birth_actions=("shop",))
+        mv = scheme.db.table("D_mv_shop")
+        # players 001 and 002 shop; player 003 (2 tuples) never does
+        assert len(mv) == 8
+
+    def test_mv_storage_wider_than_base(self):
+        scheme = make_mv_scheme(birth_actions=("launch",))
+        base = scheme.db.table("D")
+        mv = scheme.db.table("D_mv_launch")
+        assert len(mv.names) > len(base.names)
+
+    def test_unprepared_birth_action_rejected(self):
+        scheme = make_mv_scheme(birth_actions=("launch",))
+        query = CohortQuery(
+            birth_action="shop", cohort_by=("country",),
+            aggregates=(AggregateSpec("SUM", "gold", "m"),), table="D")
+        with pytest.raises(QueryError, match="materialized view"):
+            scheme.run(query)
+
+    def test_prepare_is_idempotent(self):
+        scheme = make_mv_scheme(birth_actions=("launch",))
+        assert scheme.prepare("launch") == scheme.prepare("launch")
+
+
+class TestRunner:
+    def test_all_six_systems_agree_on_q1(self):
+        table = make_table1()
+        expected = oracle_evaluate(Q1, table)
+        results = run_everywhere(table, Q1, chunk_rows=4)
+        assert set(results) == set(SYSTEMS)
+        for label, result in results.items():
+            assert result.rows == expected.rows, label
+
+    def test_unknown_system(self):
+        with pytest.raises(QueryError):
+            prepare_system("ORACLE9i", make_table1())
+
+
+# -- six-way differential on random inputs -------------------------------------------
+
+_users = st.integers(0, 7).map(lambda i: f"u{i}")
+_actions = st.sampled_from(["launch", "shop", "fight"])
+
+
+@st.composite
+def random_table(draw):
+    n = draw(st.integers(1, 40))
+    keys = set()
+    for _ in range(n):
+        keys.add((draw(_users), draw(st.integers(0, 30 * 86400)),
+                  draw(_actions)))
+    rows = [(u, t, a, draw(st.sampled_from(["dwarf", "wizard"])),
+             draw(st.sampled_from(["AU", "CN", "US"])),
+             draw(st.integers(0, 50))) for (u, t, a) in sorted(keys)]
+    return ActivityTable.from_rows(make_game_schema(), rows)
+
+
+@st.composite
+def random_query(draw):
+    agg = draw(st.sampled_from([
+        AggregateSpec("SUM", "gold", "m"),
+        AggregateSpec("AVG", "gold", "m"),
+        AggregateSpec("COUNT", None, "m"),
+        AggregateSpec("USERCOUNT", None, "m"),
+    ]))
+    birth_cond = draw(st.sampled_from([
+        None, eq("role", "dwarf"),
+        Between(attr("time"), lit(0), lit(15 * 86400)),
+    ]))
+    age_cond = draw(st.sampled_from([
+        None, eq("action", "shop"),
+        Compare(age_ref(), "<", lit(4)),
+        Compare(attr("role"), "=", birth("role")),
+    ]))
+    cohort_by = draw(st.sampled_from([("country",), ("country", "role"),
+                                      ("time",)]))
+    kwargs = dict(birth_action=draw(_actions), cohort_by=cohort_by,
+                  aggregates=(agg,), table="D")
+    if birth_cond is not None:
+        kwargs["birth_condition"] = birth_cond
+    if age_cond is not None:
+        kwargs["age_condition"] = age_cond
+    return CohortQuery(**kwargs)
+
+
+@given(table=random_table(), query=random_query())
+@settings(max_examples=40, deadline=None)
+def test_property_all_schemes_match_oracle(table, query):
+    expected = oracle_evaluate(query, table)
+    results = run_everywhere(table, query, chunk_rows=7)
+    for label, result in results.items():
+        assert result.columns == expected.columns, label
+        assert _approx(result.rows) == _approx(expected.rows), label
+
+
+def _approx(rows):
+    return [tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+            for row in rows]

@@ -1,0 +1,129 @@
+"""Unit & property tests for fixed-width bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.storage import PackedArray, bits_needed, pack
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9),
+        (2**40, 41), (2**63 - 1, 63),
+    ])
+    def test_values(self, value, expected):
+        assert bits_needed(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            bits_needed(-1)
+
+
+class TestPack:
+    def test_roundtrip_simple(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        packed = pack(values)
+        assert packed.unpack().tolist() == values
+
+    def test_inferred_width(self):
+        assert pack([0, 7]).bit_width == 3
+        assert pack([0]).bit_width == 1
+        assert pack([]).bit_width == 1
+
+    def test_explicit_width(self):
+        packed = pack([1, 2, 3], bit_width=10)
+        assert packed.bit_width == 10
+        assert packed.values_per_word == 6
+        assert packed.unpack().tolist() == [1, 2, 3]
+
+    def test_values_do_not_span_words(self):
+        # 20-bit values: 3 per word, upper 4 bits of each word unused.
+        packed = pack(list(range(7)), bit_width=20)
+        assert packed.values_per_word == 3
+        assert len(packed.words) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            pack([-1])
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(EncodingError):
+            pack([8], bit_width=3)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(EncodingError):
+            pack([1], bit_width=0)
+        with pytest.raises(EncodingError):
+            pack([1], bit_width=65)
+
+    def test_random_access(self):
+        values = [10, 20, 30, 40, 50]
+        packed = pack(values, bit_width=6)
+        for i, v in enumerate(values):
+            assert packed.get(i) == v
+
+    def test_random_access_out_of_range(self):
+        packed = pack([1, 2, 3])
+        with pytest.raises(IndexError):
+            packed.get(3)
+        with pytest.raises(IndexError):
+            packed.get(-1)
+
+    def test_get_range(self):
+        values = list(range(100))
+        packed = pack(values, bit_width=7)
+        assert packed.get_range(10, 20).tolist() == values[10:20]
+        assert packed.get_range(0, 0).tolist() == []
+        assert packed.get_range(99, 100).tolist() == [99]
+
+    def test_get_range_bounds(self):
+        packed = pack([1, 2, 3])
+        with pytest.raises(IndexError):
+            packed.get_range(0, 4)
+        with pytest.raises(IndexError):
+            packed.get_range(2, 1)
+
+    def test_empty(self):
+        packed = pack([])
+        assert len(packed) == 0
+        assert packed.unpack().tolist() == []
+        assert packed.nbytes == 0
+
+    def test_width_64(self):
+        big = 2**63 + 5
+        packed = pack(np.array([big], dtype=np.uint64).astype(np.int64),
+                      bit_width=64) if False else pack([2**62], bit_width=64)
+        assert packed.get(0) == 2**62
+
+    def test_nbytes_shrinks_with_width(self):
+        wide = pack(list(range(64)), bit_width=32)
+        narrow = pack(list(range(64)), bit_width=8)
+        assert narrow.nbytes < wide.nbytes
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_property_roundtrip(values):
+    packed = pack(values)
+    assert packed.unpack().tolist() == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**17 - 1),
+                min_size=1, max_size=200),
+       st.data())
+@settings(max_examples=50, deadline=None)
+def test_property_random_access_matches_unpack(values, data):
+    packed = pack(values, bit_width=17)
+    i = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    assert packed.get(i) == values[i]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_property_one_bit_packing(bits):
+    packed = pack(bits, bit_width=1)
+    assert packed.values_per_word == 64
+    assert packed.unpack().tolist() == bits

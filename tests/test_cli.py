@@ -1,0 +1,101 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def demo_csv(tmp_path):
+    path = tmp_path / "demo.csv"
+    assert main(["generate", str(path), "--users", "8", "--seed",
+                 "5"]) == 0
+    return path
+
+
+@pytest.fixture
+def demo_cohana(tmp_path, demo_csv):
+    path = tmp_path / "demo.cohana"
+    assert main(["compress", str(demo_csv), str(path), "--chunk-rows",
+                 "64"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, demo_csv, capsys):
+        assert demo_csv.exists()
+        header = demo_csv.read_text().splitlines()[0]
+        assert header.split(",")[:3] == ["player", "time", "action"]
+
+    def test_scale_flag(self, tmp_path, capsys):
+        path = tmp_path / "s2.csv"
+        assert main(["generate", str(path), "--users", "4", "--scale",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(8 users)" in out
+
+
+class TestCompressInspect:
+    def test_compress_roundtrip(self, demo_cohana, capsys):
+        assert demo_cohana.exists()
+        assert main(["inspect", str(demo_cohana)]) == 0
+        out = capsys.readouterr().out
+        assert "bits/tuple" in out
+        assert "[dict]" in out and "[delta]" in out
+
+    def test_compress_missing_input(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["compress", str(tmp_path / "nope.csv"),
+                  str(tmp_path / "out.cohana")])
+
+    def test_inspect_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cohana"
+        bad.write_bytes(b"not a cohana file at all")
+        assert main(["inspect", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+QUERY = ('SELECT country, COHORTSIZE, AGE, UserCount() FROM D '
+         'BIRTH FROM action = "launch" COHORT BY country')
+
+
+class TestQuery:
+    def test_query_runs(self, demo_cohana, capsys):
+        assert main(["query", str(demo_cohana), QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "cohort_size" in out
+
+    def test_query_pivot(self, demo_cohana, capsys):
+        assert main(["query", str(demo_cohana), QUERY, "--pivot"]) == 0
+        assert "by (cohort, age)" in capsys.readouterr().out
+
+    def test_query_explain(self, demo_cohana, capsys):
+        assert main(["query", str(demo_cohana), QUERY, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "TableScan" in out
+
+    def test_query_iterator_matches_vectorized(self, demo_cohana,
+                                               capsys):
+        assert main(["query", str(demo_cohana), QUERY]) == 0
+        vec = capsys.readouterr().out
+        assert main(["query", str(demo_cohana), QUERY, "--executor",
+                     "iterator"]) == 0
+        assert capsys.readouterr().out == vec
+
+    def test_query_time_cohorts_with_origin(self, demo_cohana, capsys):
+        text = ('SELECT time, COHORTSIZE, AGE, UserCount() FROM D '
+                'BIRTH FROM action = "launch" COHORT BY time UNIT week')
+        assert main(["query", str(demo_cohana), text, "--origin",
+                     "2013-05-19", "--age-unit", "week"]) == 0
+        assert "2013-05" in capsys.readouterr().out
+
+    def test_bad_query_text(self, demo_cohana, capsys):
+        assert main(["query", str(demo_cohana),
+                     "SELECT nothing sensible"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_unknown_experiment(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out

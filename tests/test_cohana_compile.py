@@ -1,0 +1,174 @@
+"""Unit tests for the vectorized condition compiler (dictionary-code
+comparisons, boundary tricks, Birth()/AGE contexts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.cohana.compile import EvalContext, compile_mask
+from repro.cohort import (
+    And,
+    Between,
+    Compare,
+    InList,
+    Not,
+    Or,
+    TrueCondition,
+    age_ref,
+    attr,
+    birth,
+    eq,
+    lit,
+)
+from repro.storage import GlobalDictionary
+
+
+class FakeContext(EvalContext):
+    """A hand-built context: two string columns with different dicts,
+    one int column, per-row birth values and ages."""
+
+    def __init__(self):
+        self.country_dict = GlobalDictionary(("AU", "CN", "US"))
+        self.role_dict = GlobalDictionary(("dwarf", "wizard"))
+        self.data = {
+            "country": np.array([0, 1, 2, 1]),     # AU CN US CN
+            "role": np.array([0, 1, 1, 0]),        # dwarf wiz wiz dwarf
+            "gold": np.array([10, 50, 30, 50]),
+        }
+        self.births = {
+            "country": np.array([0, 1, 1, 2]),     # AU CN CN US
+            "role": np.array([0, 0, 1, 0]),
+            "gold": np.array([0, 5, 0, 9]),
+        }
+        self.ages = np.array([1, 2, 3, 4])
+
+    def rows(self):
+        return 4
+
+    def plain(self, name):
+        return self.data[name]
+
+    def birth_value(self, name):
+        return self.births[name]
+
+    def age(self):
+        return self.ages
+
+    def dictionary_for(self, name):
+        if name == "country":
+            return self.country_dict
+        if name == "role":
+            return self.role_dict
+        return None
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()
+
+
+class TestStringLiteralComparisons:
+    def test_equality(self, ctx):
+        mask = compile_mask(eq("country", "CN"), ctx)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_equality_absent_value(self, ctx):
+        mask = compile_mask(eq("country", "Narnia"), ctx)
+        assert mask.tolist() == [False] * 4
+
+    def test_inequality_absent_value(self, ctx):
+        cond = Compare(attr("country"), "!=", lit("Narnia"))
+        assert compile_mask(cond, ctx).tolist() == [True] * 4
+
+    def test_ordered_boundaries(self, ctx):
+        # lexicographic: AU < CN < US; also test absent pivots
+        lt = Compare(attr("country"), "<", lit("CN"))
+        assert compile_mask(lt, ctx).tolist() == [True, False, False,
+                                                  False]
+        le = Compare(attr("country"), "<=", lit("CN"))
+        assert compile_mask(le, ctx).tolist() == [True, True, False, True]
+        gt = Compare(attr("country"), ">", lit("B"))
+        assert compile_mask(gt, ctx).tolist() == [False, True, True, True]
+        ge = Compare(attr("country"), ">=", lit("CN"))
+        assert compile_mask(ge, ctx).tolist() == [False, True, True, True]
+
+    def test_flipped_literal_side(self, ctx):
+        cond = Compare(lit("CN"), "=", attr("country"))
+        assert compile_mask(cond, ctx).tolist() == [False, True, False,
+                                                    True]
+        cond = Compare(lit("CN"), "<", attr("country"))  # CN < country
+        assert compile_mask(cond, ctx).tolist() == [False, False, True,
+                                                    False]
+
+    def test_string_vs_non_string_literal_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            compile_mask(Compare(attr("country"), "=", lit(5)), ctx)
+
+
+class TestColumnVsColumn:
+    def test_same_dictionary_codes(self, ctx):
+        cond = Compare(attr("role"), "=", birth("role"))
+        assert compile_mask(cond, ctx).tolist() == [True, False, True,
+                                                    True]
+
+    def test_cross_dictionary_decodes(self, ctx):
+        # country vs Birth(role)? different dicts: decode to strings.
+        cond = Compare(attr("country"), "!=", birth("role"))
+        assert compile_mask(cond, ctx).tolist() == [True] * 4
+
+    def test_numeric_vs_numeric(self, ctx):
+        cond = Compare(attr("gold"), ">", birth("gold"))
+        assert compile_mask(cond, ctx).tolist() == [True, True, True,
+                                                    True]
+
+    def test_string_vs_numeric_rejected(self, ctx):
+        with pytest.raises(ExecutionError):
+            compile_mask(Compare(attr("country"), "=", attr("gold")), ctx)
+
+
+class TestCompositesAndAge:
+    def test_age(self, ctx):
+        cond = Compare(age_ref(), "<=", lit(2))
+        assert compile_mask(cond, ctx).tolist() == [True, True, False,
+                                                    False]
+
+    def test_between_numeric(self, ctx):
+        cond = Between(attr("gold"), lit(20), lit(50))
+        assert compile_mask(cond, ctx).tolist() == [False, True, True,
+                                                    True]
+
+    def test_between_strings(self, ctx):
+        cond = Between(attr("country"), lit("B"), lit("D"))
+        assert compile_mask(cond, ctx).tolist() == [False, True, False,
+                                                    True]
+
+    def test_in_list_strings(self, ctx):
+        cond = InList(attr("country"), ("AU", "US", "Narnia"))
+        assert compile_mask(cond, ctx).tolist() == [True, False, True,
+                                                    False]
+
+    def test_in_list_all_absent(self, ctx):
+        cond = InList(attr("country"), ("X", "Y"))
+        assert compile_mask(cond, ctx).tolist() == [False] * 4
+
+    def test_in_list_numeric(self, ctx):
+        cond = InList(attr("gold"), (10, 30))
+        assert compile_mask(cond, ctx).tolist() == [True, False, True,
+                                                    False]
+
+    def test_and_or_not_true(self, ctx):
+        cond = And((eq("country", "CN"),
+                    Compare(attr("gold"), ">", lit(40))))
+        assert compile_mask(cond, ctx).tolist() == [False, True, False,
+                                                    True]
+        cond = Or((eq("country", "AU"), eq("country", "US")))
+        assert compile_mask(cond, ctx).tolist() == [True, False, True,
+                                                    False]
+        cond = Not(eq("country", "CN"))
+        assert compile_mask(cond, ctx).tolist() == [True, False, True,
+                                                    False]
+        assert compile_mask(TrueCondition(), ctx).tolist() == [True] * 4
+
+    def test_literal_vs_literal(self, ctx):
+        cond = Compare(lit(1), "<", lit(2))
+        assert compile_mask(cond, ctx).tolist() == [True] * 4

@@ -1,0 +1,282 @@
+"""COHANA engine tests: both executors vs the oracle, pruning, planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, QueryError
+from repro.cohana import CohanaEngine, extract_time_bounds, plan_query
+from repro.cohort import (
+    AggregateSpec,
+    Between,
+    CohortQuery,
+    Compare,
+    age_ref,
+    attr,
+    birth,
+    conjoin,
+    eq,
+    evaluate as oracle_evaluate,
+    lit,
+)
+from repro.schema import parse_timestamp
+from repro.table import ActivityTable
+
+from conftest import make_game_schema, make_table1
+
+Q1_TEXT = """
+SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+FROM D
+BIRTH FROM action = "launch" AND role = "dwarf"
+AGE ACTIVITIES IN action = "shop"
+COHORT BY country
+"""
+
+
+@pytest.fixture
+def engine(table1):
+    eng = CohanaEngine()
+    eng.create_table("D", table1, target_chunk_rows=4)
+    return eng
+
+
+class TestEngineBasics:
+    def test_q1_text_query(self, engine, table1):
+        result = engine.query(Q1_TEXT)
+        assert result.rows == [
+            ("Australia", 1, 1, 50),
+            ("Australia", 1, 2, 100),
+            ("Australia", 1, 3, 50),
+        ]
+
+    def test_iterator_executor_matches(self, engine):
+        vec = engine.query(Q1_TEXT, executor="vectorized")
+        it = engine.query(Q1_TEXT, executor="iterator")
+        assert vec.rows == it.rows
+        assert vec.columns == it.columns
+
+    def test_unknown_executor(self, engine):
+        with pytest.raises(CatalogError, match="executor"):
+            engine.query(Q1_TEXT, executor="quantum")
+
+    def test_catalog(self, engine, table1):
+        assert engine.tables() == ["D"]
+        with pytest.raises(CatalogError):
+            engine.create_table("D", table1)
+        with pytest.raises(CatalogError):
+            engine.table("missing")
+        engine.drop_table("D")
+        assert engine.tables() == []
+
+    def test_save_load_roundtrip(self, engine, tmp_path):
+        path = tmp_path / "d.cohana"
+        engine.save_table("D", path)
+        engine2 = CohanaEngine()
+        engine2.load_table("D", path)
+        assert engine2.query(Q1_TEXT).rows == engine.query(Q1_TEXT).rows
+
+    def test_explain_mentions_plan_pieces(self, engine):
+        text = engine.explain(Q1_TEXT)
+        assert "CohortAggregate" in text
+        assert "TableScan" in text
+        assert "pushed below age selection" in text
+
+    def test_unknown_birth_action_returns_empty(self, engine):
+        result = engine.query(
+            'SELECT country, COHORTSIZE, AGE, Sum(gold) FROM D '
+            'BIRTH FROM action = "no_such" COHORT BY country')
+        assert result.rows == []
+
+    def test_query_object_api(self, engine, table1):
+        query = CohortQuery(
+            birth_action="launch",
+            cohort_by=("country",),
+            aggregates=(AggregateSpec("USERCOUNT", None, "retained"),),
+            table="D",
+        )
+        result = engine.query(query)
+        assert result.rows == oracle_evaluate(query, table1).rows
+
+
+class TestStatsAndPruning:
+    def test_chunk_pruning_by_action(self, game_schema):
+        # Two chunks; only one contains the birth action.
+        rows = [("a", "2013-05-19", "launch", "d", "AU", 0),
+                ("a", "2013-05-20", "shop", "d", "AU", 5),
+                ("b", "2013-05-19", "fight", "d", "CN", 0),
+                ("b", "2013-05-20", "fight", "d", "CN", 0)]
+        table = ActivityTable.from_rows(game_schema, rows)
+        eng = CohanaEngine()
+        eng.create_table("D", table, target_chunk_rows=2)
+        assert eng.table("D").n_chunks == 2
+        _, stats = eng.query_with_stats(
+            'SELECT country, COHORTSIZE, AGE, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        assert stats.chunks_pruned == 1
+        assert stats.chunks_scanned == 1
+
+    def test_pruning_disabled_scans_everything(self, game_schema):
+        rows = [("a", "2013-05-19", "launch", "d", "AU", 0),
+                ("b", "2013-05-19", "fight", "d", "CN", 0)]
+        table = ActivityTable.from_rows(game_schema, rows)
+        eng = CohanaEngine()
+        eng.create_table("D", table, target_chunk_rows=1)
+        _, stats = eng.query_with_stats(
+            'SELECT country, COHORTSIZE, AGE, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country', prune=False)
+        assert stats.chunks_pruned == 0
+        assert stats.chunks_scanned == 2
+
+    def test_time_range_pruning(self, game_schema):
+        rows = [("a", "2013-05-19", "launch", "d", "AU", 0),
+                ("b", "2013-06-19", "launch", "d", "CN", 0),
+                ("b", "2013-06-20", "shop", "d", "CN", 9)]
+        table = ActivityTable.from_rows(game_schema, rows)
+        eng = CohanaEngine()
+        eng.create_table("D", table, target_chunk_rows=1)
+        _, stats = eng.query_with_stats(
+            'SELECT country, COHORTSIZE, AGE, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" AND '
+            'time BETWEEN "2013-06-01" AND "2013-06-30" '
+            'COHORT BY country')
+        assert stats.chunks_pruned >= 1
+
+    def test_skipping_unqualified_users(self, engine):
+        _, stats = engine.query_with_stats(Q1_TEXT)
+        assert stats.users_seen == 3
+        assert stats.users_qualified == 1
+
+    def test_pushdown_flag_same_result(self, engine):
+        for executor in ("vectorized", "iterator"):
+            with_pd = engine.query(Q1_TEXT, executor=executor,
+                                   pushdown=True)
+            without_pd = engine.query(Q1_TEXT, executor=executor,
+                                      pushdown=False)
+            assert with_pd.rows == without_pd.rows
+
+
+class TestPlanner:
+    def test_time_bounds_between(self):
+        cond = Between(attr("time"), lit(10), lit(20))
+        assert extract_time_bounds(cond, "time") == (10, 20)
+
+    def test_time_bounds_comparisons(self):
+        cond = conjoin(Compare(attr("time"), ">=", lit(5)),
+                       Compare(attr("time"), "<", lit(9)))
+        assert extract_time_bounds(cond, "time") == (5, 9)
+
+    def test_time_bounds_flipped_literal(self):
+        cond = Compare(lit(5), "<=", attr("time"))
+        assert extract_time_bounds(cond, "time") == (5, None)
+
+    def test_time_bounds_equality(self):
+        assert extract_time_bounds(eq("time", 7), "time") == (7, 7)
+
+    def test_time_bounds_other_column_ignored(self):
+        assert extract_time_bounds(eq("gold", 7), "time") == (None, None)
+
+    def test_time_bounds_disjunction_ignored(self):
+        from repro.cohort import Or
+        cond = Or((eq("time", 5), eq("time", 9)))
+        assert extract_time_bounds(cond, "time") == (None, None)
+
+    def test_required_columns(self, engine):
+        plan = engine.plan(Q1_TEXT)
+        assert set(plan.columns) == {"time", "action", "role", "country",
+                                     "gold"}
+
+    def test_required_columns_minimal(self, engine):
+        plan = engine.plan(
+            'SELECT country, COHORTSIZE, AGE, UserCount() FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        assert set(plan.columns) == {"time", "action", "country"}
+
+
+# -- differential property test: engines vs oracle ------------------------------
+
+_users = st.integers(min_value=0, max_value=10).map(lambda i: f"u{i:02d}")
+_actions = st.sampled_from(["launch", "shop", "fight"])
+_countries = st.sampled_from(["AU", "CN", "US"])
+_roles = st.sampled_from(["dwarf", "wizard"])
+_times = st.integers(min_value=0, max_value=40 * 86400)
+
+
+@st.composite
+def random_table(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    keys = set()
+    for _ in range(n):
+        keys.add((draw(_users), draw(_times), draw(_actions)))
+    rows = [(u, t, a, draw(_roles), draw(_countries),
+             draw(st.integers(0, 100))) for (u, t, a) in sorted(keys)]
+    return ActivityTable.from_rows(make_game_schema(), rows)
+
+
+@st.composite
+def random_query(draw):
+    birth_action = draw(_actions)
+    birth_cond = draw(st.sampled_from([
+        None,
+        eq("role", "dwarf"),
+        Between(attr("time"), lit(0), lit(20 * 86400)),
+        conjoin(eq("role", "wizard"), eq("country", "CN")),
+    ]))
+    age_cond = draw(st.sampled_from([
+        None,
+        eq("action", "shop"),
+        Compare(age_ref(), "<", lit(5)),
+        Compare(attr("country"), "=", birth("country")),
+        conjoin(eq("action", "shop"),
+                Compare(attr("role"), "=", birth("role"))),
+    ]))
+    agg = draw(st.sampled_from([
+        AggregateSpec("SUM", "gold", "m"),
+        AggregateSpec("AVG", "gold", "m"),
+        AggregateSpec("COUNT", None, "m"),
+        AggregateSpec("MIN", "gold", "m"),
+        AggregateSpec("MAX", "gold", "m"),
+        AggregateSpec("USERCOUNT", None, "m"),
+    ]))
+    cohort_by = draw(st.sampled_from([("country",), ("role",),
+                                      ("country", "role"), ("time",)]))
+    kwargs = dict(birth_action=birth_action, cohort_by=cohort_by,
+                  aggregates=(agg,), table="D")
+    if birth_cond is not None:
+        kwargs["birth_condition"] = birth_cond
+    if age_cond is not None:
+        kwargs["age_condition"] = age_cond
+    return CohortQuery(**kwargs)
+
+
+@given(table=random_table(), query=random_query(),
+       chunk_rows=st.sampled_from([1, 3, 7, 1000]))
+@settings(max_examples=120, deadline=None)
+def test_property_engines_match_oracle(table, query, chunk_rows):
+    expected = oracle_evaluate(query, table)
+    eng = CohanaEngine()
+    eng.create_table("D", table, target_chunk_rows=chunk_rows)
+    for executor in ("vectorized", "iterator"):
+        got = eng.query(query, executor=executor)
+        assert got.columns == expected.columns
+        assert _approx(got.rows) == _approx(expected.rows), (
+            f"{executor} mismatch for {query}")
+
+
+@given(table=random_table(), query=random_query())
+@settings(max_examples=40, deadline=None)
+def test_property_pruning_and_pushdown_never_change_results(table, query):
+    eng = CohanaEngine()
+    eng.create_table("D", table, target_chunk_rows=5)
+    baseline = eng.query(query, prune=False, pushdown=False)
+    for prune in (False, True):
+        for pushdown in (False, True):
+            got = eng.query(query, prune=prune, pushdown=pushdown)
+            assert _approx(got.rows) == _approx(baseline.rows)
+
+
+def _approx(rows):
+    out = []
+    for row in rows:
+        out.append(tuple(round(v, 9) if isinstance(v, float) else v
+                         for v in row))
+    return out

@@ -1,0 +1,204 @@
+"""Unit tests for the cohort query language parser and binder."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.cohana import bind_cohort_query, parse_cohort_query
+from repro.cohort import (
+    AgeRef,
+    And,
+    Between,
+    BirthRef,
+    Compare,
+    InList,
+    TrueCondition,
+)
+from repro.schema import parse_timestamp
+
+Q1 = """
+SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+FROM D
+AGE ACTIVITIES IN action = "shop"
+BIRTH FROM action = "launch" AND role = "dwarf"
+COHORT BY country
+"""
+
+Q4 = """
+SELECT country, COHORTSIZE, AGE, Avg(gold)
+FROM GameActions
+BIRTH FROM action = "shop" AND
+  time BETWEEN "2013-05-21" AND "2013-05-27" AND
+  role = "dwarf" AND
+  country IN ["China", "Australia", "United States"]
+AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+COHORT BY country
+"""
+
+
+class TestParser:
+    def test_q1_shape(self):
+        parsed = parse_cohort_query(Q1)
+        assert parsed.table == "D"
+        assert parsed.cohort_by == ["country"]
+        kinds = [i.kind for i in parsed.select_items]
+        assert kinds == ["attr", "cohortsize", "age", "agg"]
+        assert parsed.select_items[3].func == "SUM"
+        assert parsed.select_items[3].column == "gold"
+        assert parsed.select_items[3].alias == "spent"
+
+    def test_clause_order_irrelevant(self):
+        a = parse_cohort_query(Q1)
+        b = parse_cohort_query(Q1.replace(
+            'AGE ACTIVITIES IN action = "shop"\nBIRTH FROM action = '
+            '"launch" AND role = "dwarf"',
+            'BIRTH FROM action = "launch" AND role = "dwarf"\n'
+            'AGE ACTIVITIES IN action = "shop"'))
+        assert a.birth_clause == b.birth_clause
+        assert a.age_clause == b.age_clause
+
+    def test_q4_conditions(self):
+        parsed = parse_cohort_query(Q4)
+        assert isinstance(parsed.birth_clause, And)
+        assert len(parsed.birth_clause.parts) == 4
+        between = parsed.birth_clause.parts[1]
+        assert isinstance(between, Between)
+        in_list = parsed.birth_clause.parts[3]
+        assert isinstance(in_list, InList)
+        assert in_list.values == ("China", "Australia", "United States")
+        assert isinstance(parsed.age_clause, And)
+        birth_cmp = parsed.age_clause.parts[1]
+        assert isinstance(birth_cmp.right, BirthRef)
+
+    def test_age_keyword_in_condition(self):
+        parsed = parse_cohort_query(
+            'SELECT country, UserCount() FROM D '
+            'BIRTH FROM action = "launch" '
+            'AGE ACTIVITIES IN AGE < 7 COHORT BY country')
+        cmp = parsed.age_clause
+        assert isinstance(cmp, Compare)
+        assert isinstance(cmp.left, AgeRef)
+
+    def test_usercount_parses(self):
+        parsed = parse_cohort_query(
+            'SELECT country, COHORTSIZE, AGE, UserCount() FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        agg = parsed.select_items[-1]
+        assert agg.func == "USERCOUNT"
+        assert agg.column is None
+
+    def test_cohort_by_unit(self):
+        parsed = parse_cohort_query(
+            'SELECT time, Sum(gold) FROM D BIRTH FROM action = "launch" '
+            'COHORT BY time UNIT week')
+        assert parsed.cohort_by == ["time"]
+        assert parsed.cohort_time_bin == "week"
+
+    def test_multi_cohort_attrs(self):
+        parsed = parse_cohort_query(
+            'SELECT country, role, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country, role')
+        assert parsed.cohort_by == ["country", "role"]
+
+    def test_missing_birth_from(self):
+        with pytest.raises(ParseError, match="BIRTH FROM"):
+            parse_cohort_query(
+                'SELECT country, Sum(gold) FROM D COHORT BY country')
+
+    def test_missing_cohort_by(self):
+        with pytest.raises(ParseError, match="COHORT BY"):
+            parse_cohort_query(
+                'SELECT country, Sum(gold) FROM D '
+                'BIRTH FROM action = "launch"')
+
+    def test_duplicate_clause(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_cohort_query(
+                'SELECT c, Sum(g) FROM D BIRTH FROM action = "x" '
+                'BIRTH FROM action = "y" COHORT BY c')
+
+    def test_or_and_not_conditions(self):
+        parsed = parse_cohort_query(
+            'SELECT c, Sum(g) FROM D '
+            'BIRTH FROM action = "x" AND (c = "a" OR NOT c = "b") '
+            'COHORT BY c')
+        assert isinstance(parsed.birth_clause, And)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_cohort_query('SELECT c FROM D BIRTH FROM action = "x')
+
+    def test_garbage_trailing_token(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse_cohort_query(
+                'SELECT c, Sum(g) FROM D BIRTH FROM action = "x" '
+                'COHORT BY c EXTRA')
+
+    def test_comments_ignored(self):
+        parsed = parse_cohort_query(
+            'SELECT c, Sum(g) FROM D -- a comment\n'
+            'BIRTH FROM action = "x" COHORT BY c')
+        assert parsed.table == "D"
+
+
+class TestBinder:
+    def test_q1_binding(self, game_schema):
+        query = bind_cohort_query(parse_cohort_query(Q1), game_schema)
+        assert query.birth_action == "launch"
+        assert str(query.birth_condition) == "role = 'dwarf'"
+        assert query.cohort_by == ("country",)
+        assert query.aggregates[0].alias == "spent"
+        assert query.table == "D"
+
+    def test_time_literals_coerced(self, game_schema):
+        query = bind_cohort_query(parse_cohort_query(Q4), game_schema)
+        between = query.birth_condition.parts[0]
+        assert between.low.raw == parse_timestamp("2013-05-21")
+        assert between.high.raw == parse_timestamp("2013-05-27")
+
+    def test_missing_action_conjunct(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(gold) FROM D '
+            'BIRTH FROM role = "dwarf" COHORT BY country')
+        with pytest.raises(BindError, match="action"):
+            bind_cohort_query(parsed, game_schema)
+
+    def test_select_attr_not_in_cohort_by(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT role, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        with pytest.raises(BindError, match="COHORT BY"):
+            bind_cohort_query(parsed, game_schema)
+
+    def test_no_aggregate(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT country, COHORTSIZE FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        with pytest.raises(BindError, match="aggregate"):
+            bind_cohort_query(parsed, game_schema)
+
+    def test_unknown_aggregate_column(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(bogus) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        with pytest.raises(BindError):
+            bind_cohort_query(parsed, game_schema)
+
+    def test_unknown_condition_column(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" AND bogus = 1 COHORT BY country')
+        with pytest.raises(BindError):
+            bind_cohort_query(parsed, game_schema)
+
+    def test_default_aliases_unique(self, game_schema):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(gold), Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" COHORT BY country')
+        query = bind_cohort_query(parsed, game_schema)
+        aliases = [a.alias for a in query.aggregates]
+        assert aliases == ["sum_gold", "sum_gold_2"]
+
+    def test_age_unit_passthrough(self, game_schema):
+        query = bind_cohort_query(parse_cohort_query(Q1), game_schema,
+                                  age_unit="week")
+        assert query.age_unit == "week"

@@ -1,0 +1,103 @@
+"""Unit tests for Definitions 1-3: birth time, birth tuple, age."""
+
+import pytest
+
+from repro.cohort import (
+    NEVER_BORN,
+    bin_time,
+    birth_times,
+    birth_tuples,
+    normalize_age,
+)
+from repro.schema import parse_timestamp
+
+
+class TestBirthTimes:
+    def test_launch_births(self, table1):
+        births = birth_times(table1, "launch")
+        assert births["001"] == parse_timestamp("2013/05/19:1000")
+        assert births["002"] == parse_timestamp("2013/05/20:0900")
+        assert births["003"] == parse_timestamp("2013/05/20:1000")
+
+    def test_shop_births(self, table1):
+        births = birth_times(table1, "shop")
+        assert births["001"] == parse_timestamp("2013/05/20:0800")
+        assert births["002"] == parse_timestamp("2013/05/21:1500")
+        # player 003 never shops
+        assert births["003"] == NEVER_BORN
+
+    def test_unknown_action(self, table1):
+        births = birth_times(table1, "no_such_action")
+        assert all(t == NEVER_BORN for t in births.values())
+
+    def test_minimum_time_wins(self, game_schema):
+        from repro.table import ActivityTable
+        rows = [("u", "2013-05-21", "shop", "d", "C", 1),
+                ("u", "2013-05-19", "shop", "d", "C", 2)]
+        table = ActivityTable.from_rows(game_schema, rows)
+        assert birth_times(table, "shop")["u"] == \
+            parse_timestamp("2013-05-19")
+
+
+class TestBirthTuples:
+    def test_t1_is_birth_tuple_of_001(self, table1):
+        tuples = birth_tuples(table1, "launch")
+        assert tuples["001"]["action"] == "launch"
+        assert tuples["001"]["time"] == parse_timestamp("2013/05/19:1000")
+        assert tuples["001"]["role"] == "dwarf"
+        assert tuples["001"]["country"] == "Australia"
+
+    def test_never_born_user_has_no_tuple(self, table1):
+        tuples = birth_tuples(table1, "shop")
+        assert "003" not in tuples
+        assert set(tuples) == {"001", "002"}
+
+    def test_birth_tuple_role_captured_at_birth(self, table1):
+        # Player 001 shops as dwarf at birth (t2), later as assassin.
+        tuples = birth_tuples(table1, "shop")
+        assert tuples["001"]["role"] == "dwarf"
+
+
+class TestNormalizeAge:
+    def test_birth_instant_is_zero(self):
+        assert normalize_age(0) == 0
+
+    def test_paper_example_t2_age_one_day(self):
+        # t2 is 22 hours after birth => age 1 (the paper's Section 3.2).
+        raw = parse_timestamp("2013/05/20:0800") - parse_timestamp(
+            "2013/05/19:1000")
+        assert normalize_age(raw, "day") == 1
+
+    def test_paper_example_t2_week_one(self):
+        raw = parse_timestamp("2013/05/20:0800") - parse_timestamp(
+            "2013/05/19:1000")
+        assert normalize_age(raw, "week") == 1
+
+    def test_exact_unit_boundary(self):
+        assert normalize_age(86400, "day") == 1
+        assert normalize_age(86401, "day") == 2
+
+    def test_negative_age_stays_negative(self):
+        assert normalize_age(-10, "day") == -1
+        assert normalize_age(-86401, "day") == -2
+
+    def test_week_unit(self):
+        assert normalize_age(8 * 86400, "week") == 2
+
+
+class TestBinTime:
+    def test_epoch_aligned(self):
+        assert bin_time(10, "day") == 0
+        assert bin_time(86400 + 5, "day") == 86400
+
+    def test_origin_aligned_weeks(self):
+        origin = parse_timestamp("2013-05-19")
+        t = parse_timestamp("2013-05-27")  # second week
+        assert bin_time(t, "week", origin) == parse_timestamp("2013-05-26")
+        t0 = parse_timestamp("2013-05-19 23:00")
+        assert bin_time(t0, "week", origin) == origin
+
+    def test_before_origin(self):
+        origin = parse_timestamp("2013-05-19")
+        t = parse_timestamp("2013-05-18")
+        assert bin_time(t, "week", origin) == parse_timestamp("2013-05-12")

@@ -1,0 +1,150 @@
+"""Unit tests for the condition AST (birth/age selection formulas)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.cohort import (
+    AgeRef,
+    And,
+    Between,
+    Compare,
+    InList,
+    Not,
+    Or,
+    TrueCondition,
+    age_ref,
+    attr,
+    birth,
+    conjoin,
+    eq,
+    lit,
+)
+
+ROW = {"country": "Australia", "gold": 50, "role": "assassin"}
+BIRTH_ROW = {"country": "Australia", "gold": 0, "role": "dwarf"}
+
+
+class TestOperands:
+    def test_attr_ref(self):
+        assert attr("gold").value(ROW, None, None) == 50
+
+    def test_attr_ref_missing(self):
+        with pytest.raises(QueryError):
+            attr("nope").value(ROW, None, None)
+
+    def test_birth_ref(self):
+        assert birth("role").value(ROW, BIRTH_ROW, None) == "dwarf"
+
+    def test_birth_ref_without_birth_row(self):
+        with pytest.raises(QueryError):
+            birth("role").value(ROW, None, None)
+
+    def test_birth_ref_missing_attr(self):
+        with pytest.raises(QueryError):
+            birth("nope").value(ROW, BIRTH_ROW, None)
+
+    def test_age_ref(self):
+        assert age_ref().value(ROW, None, 3) == 3
+
+    def test_age_ref_without_age(self):
+        with pytest.raises(QueryError):
+            age_ref().value(ROW, None, None)
+
+    def test_literal(self):
+        assert lit(7).value(ROW, None, None) == 7
+
+
+class TestCompare:
+    def test_all_operators(self):
+        assert eq("gold", 50).evaluate_row(ROW)
+        assert Compare(attr("gold"), "!=", lit(49)).evaluate_row(ROW)
+        assert Compare(attr("gold"), "<", lit(51)).evaluate_row(ROW)
+        assert Compare(attr("gold"), "<=", lit(50)).evaluate_row(ROW)
+        assert Compare(attr("gold"), ">", lit(49)).evaluate_row(ROW)
+        assert Compare(attr("gold"), ">=", lit(50)).evaluate_row(ROW)
+        assert not eq("gold", 49).evaluate_row(ROW)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Compare(attr("gold"), "<>", lit(1))
+
+    def test_birth_comparison(self):
+        cond = Compare(attr("role"), "=", birth("role"))
+        assert not cond.evaluate_row(ROW, BIRTH_ROW)
+        assert cond.evaluate_row(BIRTH_ROW, BIRTH_ROW)
+
+    def test_age_comparison(self):
+        cond = Compare(age_ref(), "<", lit(7))
+        assert cond.evaluate_row(ROW, None, 3)
+        assert not cond.evaluate_row(ROW, None, 10)
+
+    def test_attribute_sets(self):
+        cond = Compare(attr("role"), "=", birth("role"))
+        assert cond.plain_attributes() == {"role"}
+        assert cond.birth_attributes() == {"role"}
+        assert not cond.uses_age()
+        assert Compare(age_ref(), "<", lit(1)).uses_age()
+
+
+class TestComposites:
+    def test_between_inclusive(self):
+        cond = Between(attr("gold"), lit(50), lit(60))
+        assert cond.evaluate_row(ROW)
+        assert Between(attr("gold"), lit(40), lit(50)).evaluate_row(ROW)
+        assert not Between(attr("gold"), lit(51), lit(60)).evaluate_row(ROW)
+
+    def test_in_list(self):
+        cond = InList(attr("country"), ("China", "Australia"))
+        assert cond.evaluate_row(ROW)
+        assert not InList(attr("country"), ("China",)).evaluate_row(ROW)
+
+    def test_and_or_not(self):
+        a = eq("country", "Australia")
+        b = eq("gold", 999)
+        assert And((a,)).evaluate_row(ROW)
+        assert not And((a, b)).evaluate_row(ROW)
+        assert Or((a, b)).evaluate_row(ROW)
+        assert not Or((b,)).evaluate_row(ROW)
+        assert Not(b).evaluate_row(ROW)
+
+    def test_true_condition(self):
+        cond = TrueCondition()
+        assert cond.evaluate_row(ROW)
+        assert cond.plain_attributes() == set()
+        assert not cond.uses_age()
+
+    def test_nested_attribute_collection(self):
+        cond = And((
+            Or((eq("country", "X"), Compare(attr("role"), "=",
+                                            birth("role")))),
+            Compare(age_ref(), "<", lit(5)),
+        ))
+        assert cond.plain_attributes() == {"country", "role"}
+        assert cond.birth_attributes() == {"role"}
+        assert cond.uses_age()
+        assert Not(cond).uses_age()
+
+    def test_conjoin(self):
+        a = eq("country", "Australia")
+        b = eq("gold", 50)
+        assert isinstance(conjoin(), TrueCondition)
+        assert conjoin(a) is a
+        assert conjoin(TrueCondition(), a) is a
+        combined = conjoin(a, b)
+        assert isinstance(combined, And)
+        assert len(combined.parts) == 2
+        # nested Ands are flattened
+        assert len(conjoin(combined, b).parts) == 3
+
+    def test_str_rendering(self):
+        cond = And((eq("country", "Australia"),
+                    Between(attr("gold"), lit(1), lit(5))))
+        text = str(cond)
+        assert "country = 'Australia'" in text
+        assert "BETWEEN" in text
+        assert "IN" in str(InList(attr("c"), ("x",)))
+        assert str(TrueCondition()) == "TRUE"
+        assert "Birth(role)" in str(Compare(attr("role"), "=",
+                                            birth("role")))
+        assert "AGE" in str(Compare(age_ref(), "<", lit(5)))
+        assert "NOT" in str(Not(eq("a", 1)))

@@ -1,0 +1,227 @@
+"""Unit & property tests for the RLE / dictionary / delta column encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.storage import (
+    GlobalDictionary,
+    GlobalRange,
+    encode_chunk_integers,
+    encode_chunk_strings,
+    encode_users,
+)
+from repro.storage.raw import RawFloatColumn
+
+
+class TestRle:
+    def test_triples(self):
+        rle = encode_users([5, 5, 5, 2, 2, 9])
+        assert rle.triples() == [(5, 0, 3), (2, 3, 2), (9, 5, 1)]
+        assert rle.n_users == 3
+        assert rle.n_rows == 6
+
+    def test_triple_access(self):
+        rle = encode_users([1, 1, 2])
+        assert rle.triple(0) == (1, 0, 2)
+        assert rle.triple(1) == (2, 2, 1)
+
+    def test_expand_roundtrip(self):
+        ids = [7, 7, 3, 3, 3, 1]
+        rle = encode_users(ids)
+        assert rle.expand().tolist() == ids
+
+    def test_single_user(self):
+        rle = encode_users([4] * 10)
+        assert rle.triples() == [(4, 0, 10)]
+
+    def test_empty(self):
+        rle = encode_users([])
+        assert rle.n_rows == 0
+        assert rle.n_users == 0
+        assert rle.expand().tolist() == []
+
+    def test_unclustered_rejected(self):
+        with pytest.raises(EncodingError, match="clustered"):
+            encode_users([1, 2, 1])
+
+    def test_nbytes_positive(self):
+        assert encode_users([1, 1, 2]).nbytes > 0
+
+
+class TestGlobalDictionary:
+    def test_from_column_sorted_unique(self):
+        gdict = GlobalDictionary.from_column(["b", "a", "b", "c"])
+        assert gdict.values == ("a", "b", "c")
+        assert len(gdict) == 3
+
+    def test_ids_and_values(self):
+        gdict = GlobalDictionary(("apple", "pear"))
+        assert gdict.global_id("apple") == 0
+        assert gdict.global_id("pear") == 1
+        assert gdict.global_id("zebra") is None
+        assert gdict.value(1) == "pear"
+
+    def test_id_order_is_lexicographic(self):
+        gdict = GlobalDictionary.from_column(["China", "Australia", "US"])
+        ids = [gdict.global_id(v) for v in sorted(["China", "Australia",
+                                                   "US"])]
+        assert ids == sorted(ids)
+
+    def test_encode_decode(self):
+        gdict = GlobalDictionary.from_column(["x", "y"])
+        codes = gdict.encode(["y", "x", "y"])
+        assert codes.tolist() == [1, 0, 1]
+        assert gdict.decode(codes).tolist() == ["y", "x", "y"]
+
+    def test_encode_unknown_value(self):
+        gdict = GlobalDictionary.from_column(["x"])
+        with pytest.raises(EncodingError):
+            gdict.encode(["nope"])
+
+    def test_unsorted_construction_rejected(self):
+        with pytest.raises(EncodingError):
+            GlobalDictionary(("b", "a"))
+        with pytest.raises(EncodingError):
+            GlobalDictionary(("a", "a"))
+
+
+class TestChunkStrings:
+    def test_roundtrip_global_ids(self):
+        gids = np.array([4, 2, 4, 9, 2])
+        col = encode_chunk_strings(gids)
+        assert col.decode_to_global_ids().tolist() == gids.tolist()
+        assert col.cardinality == 3
+
+    def test_contains_global_id(self):
+        col = encode_chunk_strings(np.array([4, 2, 9]))
+        assert col.contains_global_id(4)
+        assert col.contains_global_id(9)
+        assert not col.contains_global_id(5)
+        assert not col.contains_global_id(100)
+
+    def test_random_access(self):
+        gids = np.array([4, 2, 4, 9])
+        col = encode_chunk_strings(gids)
+        for i, g in enumerate(gids):
+            assert col.global_id_at(i) == g
+
+    def test_chunk_ids_narrower_than_global(self):
+        # 2 distinct values from a large global id space -> 1-bit ids.
+        col = encode_chunk_strings(np.array([1000, 2000, 1000]))
+        assert col.chunk_ids.bit_width == 1
+
+    def test_empty(self):
+        col = encode_chunk_strings(np.array([], dtype=np.int64))
+        assert len(col) == 0
+        assert not col.contains_global_id(0)
+
+
+class TestChunkIntegers:
+    def test_roundtrip(self):
+        vals = np.array([100, 105, 103, 100])
+        col = encode_chunk_integers(vals)
+        assert col.decode().tolist() == vals.tolist()
+        assert col.min_value == 100
+        assert col.max_value == 105
+
+    def test_random_access(self):
+        vals = np.array([100, 105, 103])
+        col = encode_chunk_integers(vals)
+        assert [col.value_at(i) for i in range(3)] == vals.tolist()
+
+    def test_decode_range(self):
+        col = encode_chunk_integers(np.arange(50, 150))
+        assert col.decode_range(10, 13).tolist() == [60, 61, 62]
+
+    def test_negative_values_ok(self):
+        vals = np.array([-10, -5, -7])
+        col = encode_chunk_integers(vals)
+        assert col.decode().tolist() == vals.tolist()
+
+    def test_constant_column_uses_one_bit(self):
+        col = encode_chunk_integers(np.full(100, 42))
+        assert col.deltas.bit_width == 1
+
+    def test_overlaps(self):
+        col = encode_chunk_integers(np.array([100, 200]))
+        assert col.overlaps(150, 250)
+        assert col.overlaps(None, 100)
+        assert col.overlaps(200, None)
+        assert col.overlaps(None, None)
+        assert not col.overlaps(201, None)
+        assert not col.overlaps(None, 99)
+
+    def test_empty_never_overlaps(self):
+        col = encode_chunk_integers(np.array([], dtype=np.int64))
+        assert not col.overlaps(None, None)
+
+
+class TestGlobalRange:
+    def test_from_column(self):
+        rng = GlobalRange.from_column(np.array([5, -2, 7]))
+        assert (rng.min_value, rng.max_value) == (-2, 7)
+
+    def test_empty(self):
+        rng = GlobalRange.from_column(np.array([], dtype=np.int64))
+        assert (rng.min_value, rng.max_value) == (0, 0)
+
+    def test_merge(self):
+        merged = GlobalRange(0, 5).merge(GlobalRange(-3, 2))
+        assert (merged.min_value, merged.max_value) == (-3, 5)
+
+
+class TestRawFloat:
+    def test_roundtrip(self):
+        col = RawFloatColumn.encode([1.5, -2.25])
+        assert col.decode().tolist() == [1.5, -2.25]
+        assert col.value_at(1) == -2.25
+
+    def test_overlaps(self):
+        col = RawFloatColumn.encode([1.0, 2.0])
+        assert col.overlaps(1.5, None)
+        assert not col.overlaps(2.5, None)
+        assert not RawFloatColumn.encode([]).overlaps(None, None)
+
+
+# -- property tests -----------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=-2**40, max_value=2**40), max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_property_delta_roundtrip(values):
+    col = encode_chunk_integers(np.asarray(values, dtype=np.int64))
+    assert col.decode().tolist() == values
+
+
+@given(st.lists(st.text(alphabet="abcdef", max_size=6), min_size=1,
+                max_size=100))
+@settings(max_examples=80, deadline=None)
+def test_property_dictionary_roundtrip(values):
+    gdict = GlobalDictionary.from_column(values)
+    codes = gdict.encode(values)
+    assert gdict.decode(codes).tolist() == values
+    col = encode_chunk_strings(codes)
+    assert gdict.decode(col.decode_to_global_ids()).tolist() == values
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                          st.integers(min_value=1, max_value=5)),
+                max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_property_rle_roundtrip(runs):
+    # Build a clustered id sequence with unique run ids.
+    expanded = []
+    used = set()
+    next_id = 0
+    for base, length in runs:
+        run_id = base + next_id
+        while run_id in used:
+            run_id += 1
+        used.add(run_id)
+        next_id = run_id + 1
+        expanded.extend([run_id] * length)
+    rle = encode_users(expanded)
+    assert rle.expand().tolist() == expanded
+    assert rle.n_users == len(runs)

@@ -1,0 +1,167 @@
+"""White-box tests of executor internals: join-key splitting, dense
+factorization, sort ranking and empty-input edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.executor import _combine_codes, _factorize, _rank
+from repro.relational import (
+    BinaryOp,
+    ColumnRef,
+    Const,
+    Database,
+    RelSchema,
+)
+from repro.relational.row_executor import split_equi_conjuncts
+
+from conftest import make_table1
+
+LEFT = RelSchema(["a.p", "a.gold"])
+RIGHT = RelSchema(["b.p", "b.gold"])
+
+
+def col(name):
+    return ColumnRef(name)
+
+
+def equi(l, r):
+    return BinaryOp("=", col(l), col(r))
+
+
+class TestSplitEquiConjuncts:
+    def test_simple_equi(self):
+        lk, rk, residual = split_equi_conjuncts(equi("a.p", "b.p"),
+                                                LEFT, RIGHT)
+        assert [k.name for k in lk] == ["a.p"]
+        assert [k.name for k in rk] == ["b.p"]
+        assert residual is None
+
+    def test_swapped_sides_normalized(self):
+        lk, rk, residual = split_equi_conjuncts(equi("b.p", "a.p"),
+                                                LEFT, RIGHT)
+        assert [k.name for k in lk] == ["a.p"]
+        assert [k.name for k in rk] == ["b.p"]
+
+    def test_residual_preserved(self):
+        pred = BinaryOp("AND", equi("a.p", "b.p"),
+                        BinaryOp("<", col("a.gold"), col("b.gold")))
+        lk, rk, residual = split_equi_conjuncts(pred, LEFT, RIGHT)
+        assert len(lk) == 1
+        assert residual is not None and residual.op == "<"
+
+    def test_multi_key(self):
+        pred = BinaryOp("AND", equi("a.p", "b.p"),
+                        equi("a.gold", "b.gold"))
+        lk, rk, residual = split_equi_conjuncts(pred, LEFT, RIGHT)
+        assert len(lk) == 2 and residual is None
+
+    def test_same_side_equality_is_residual(self):
+        pred = equi("a.p", "a.gold")
+        lk, rk, residual = split_equi_conjuncts(pred, LEFT, RIGHT)
+        assert lk == [] and residual is pred
+
+    def test_non_equality_is_residual(self):
+        pred = BinaryOp("<", col("a.gold"), col("b.gold"))
+        lk, _, residual = split_equi_conjuncts(pred, LEFT, RIGHT)
+        assert lk == [] and residual is pred
+
+    def test_literal_comparison_is_residual(self):
+        pred = BinaryOp("=", col("a.gold"), Const(5))
+        lk, _, residual = split_equi_conjuncts(pred, LEFT, RIGHT)
+        assert lk == [] and residual is pred
+
+    def test_none_predicate(self):
+        lk, rk, residual = split_equi_conjuncts(None, LEFT, RIGHT)
+        assert lk == [] and rk == [] and residual is None
+
+
+class TestFactorize:
+    def test_ints(self):
+        codes, k = _factorize(np.array([5, 3, 5, 9]))
+        assert k == 3
+        assert codes[0] == codes[2]
+        assert len(set(codes.tolist())) == 3
+
+    def test_strings(self):
+        arr = np.array(["b", "a", "b"], dtype=object)
+        codes, k = _factorize(arr)
+        assert k == 2
+        assert codes[0] == codes[2] != codes[1]
+
+    def test_mixed_types_fallback(self):
+        # np.unique cannot sort int vs str; the dict fallback can.
+        arr = np.array([1, "x", 1, None], dtype=object)
+        codes, k = _factorize(arr)
+        assert k == 3
+        assert codes[0] == codes[2]
+
+    def test_empty(self):
+        codes, k = _factorize(np.array([], dtype=np.int64))
+        assert len(codes) == 0 and k == 0
+
+    def test_combine_codes_injective(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        combined = _combine_codes([a, b], 4)
+        assert len(set(combined.tolist())) == 4
+
+    def test_combine_codes_empty_list(self):
+        assert _combine_codes([], 3).tolist() == [0, 0, 0]
+
+
+class TestRank:
+    def test_numeric_passthrough(self):
+        arr = np.array([3, 1, 2])
+        assert _rank(arr) is arr
+
+    def test_object_ranks_lexicographic(self):
+        arr = np.array(["b", "a", "c", "a"], dtype=object)
+        ranks = _rank(arr)
+        assert ranks[1] == ranks[3] < ranks[0] < ranks[2]
+
+
+class TestExecutorEdgeCases:
+    @pytest.fixture(params=["rows", "columnar"])
+    def db(self, request):
+        database = Database(executor=request.param)
+        database.register_activity_table("D", make_table1())
+        return database
+
+    def test_join_against_empty_side(self, db):
+        out = db.execute(
+            "SELECT a.player FROM D a, "
+            "(SELECT player FROM D WHERE gold > 9999) b "
+            "WHERE a.player = b.player")
+        assert len(out) == 0
+
+    def test_group_by_on_empty_input_yields_nothing(self, db):
+        out = db.execute("SELECT country, Sum(gold) AS s FROM D "
+                         "WHERE gold > 9999 GROUP BY country")
+        assert len(out) == 0
+
+    def test_distinct_preserves_first_occurrence_order(self, db):
+        out = db.execute("SELECT DISTINCT action FROM D")
+        assert out.column("action")[0] == "launch"  # t1 comes first
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT player FROM D LIMIT 0")) == 0
+
+    def test_limit_beyond_size(self, db):
+        assert len(db.execute("SELECT player FROM D LIMIT 999")) == 10
+
+    def test_order_by_is_stable(self, db):
+        out = db.execute("SELECT player, time FROM D ORDER BY player")
+        times = [t for p, t in out.rows if p == "001"]
+        assert times == sorted(times)  # original order kept within ties
+
+    def test_min_max_on_strings(self, db):
+        out = db.execute("SELECT Min(country) AS lo, Max(country) AS hi "
+                         "FROM D")
+        assert out.rows == [("Australia", "United States")]
+
+    def test_nested_subquery_depth(self, db):
+        out = db.execute(
+            "SELECT x.player FROM (SELECT player FROM "
+            "(SELECT player, gold FROM D WHERE gold > 0) y "
+            "WHERE gold >= 50) x")
+        assert len(out) == 3

@@ -1,0 +1,202 @@
+"""Unit tests for the relational expression layer (row + batch eval)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BindError, ExecutionError
+from repro.relational import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Const,
+    FuncCall,
+    InListExpr,
+    RelSchema,
+    Star,
+    UnaryNot,
+    contains_aggregate,
+    eval_batch,
+    eval_row,
+)
+
+SCHEMA = RelSchema(["t.gold", "t.country", "t.time"])
+ROW = (50, "AU", 1000)
+BATCH = [np.array([50, 10]), np.array(["AU", "CN"], dtype=object),
+         np.array([1000, 2000])]
+
+
+def run_row(expr):
+    return eval_row(expr, ROW, SCHEMA)
+
+
+def run_batch(expr):
+    return eval_batch(expr, BATCH, SCHEMA, 2)
+
+
+class TestRelSchema:
+    def test_exact_and_suffix_resolution(self):
+        assert SCHEMA.resolve("t.gold") == 0
+        assert SCHEMA.resolve("gold") == 0
+
+    def test_unknown(self):
+        with pytest.raises(BindError, match="unknown column"):
+            SCHEMA.resolve("nope")
+
+    def test_ambiguous(self):
+        schema = RelSchema(["a.gold", "b.gold"])
+        with pytest.raises(BindError, match="ambiguous"):
+            schema.resolve("gold")
+        # exact qualification resolves fine
+        assert schema.resolve("a.gold") == 0
+
+    def test_concat(self):
+        combined = SCHEMA.concat(RelSchema(["x"]))
+        assert combined.resolve("x") == 3
+        assert len(combined) == 4
+
+
+class TestRowEval:
+    def test_comparisons_and_arithmetic(self):
+        assert run_row(BinaryOp("=", ColumnRef("gold"), Const(50)))
+        assert run_row(BinaryOp("+", ColumnRef("gold"), Const(1))) == 51
+        assert run_row(BinaryOp("/", ColumnRef("gold"), Const(4))) == 12.5
+        assert run_row(BinaryOp("*", Const(2), Const(3))) == 6
+        assert run_row(BinaryOp("-", ColumnRef("gold"), Const(60))) == -10
+
+    def test_boolean_logic(self):
+        true = BinaryOp("=", Const(1), Const(1))
+        false = BinaryOp("=", Const(1), Const(2))
+        assert run_row(BinaryOp("AND", true, true))
+        assert not run_row(BinaryOp("AND", true, false))
+        assert run_row(BinaryOp("OR", false, true))
+        assert run_row(UnaryNot(false))
+
+    def test_between_in(self):
+        assert run_row(BetweenExpr(ColumnRef("gold"), Const(50),
+                                   Const(60)))
+        assert not run_row(BetweenExpr(ColumnRef("gold"), Const(51),
+                                       Const(60)))
+        assert run_row(InListExpr(ColumnRef("country"), ("AU", "CN")))
+
+    def test_scalar_functions(self):
+        assert run_row(FuncCall("TimeDiff", (ColumnRef("time"),
+                                             Const(400)))) == 600
+        week = FuncCall("Week", (ColumnRef("time"),))
+        assert run_row(week) == 0
+        ceil = FuncCall("CeilDiv", (Const(5), Const(2)))
+        assert run_row(ceil) == 3
+        assert run_row(FuncCall("CeilDiv", (Const(4), Const(2)))) == 2
+        tb = FuncCall("TimeBin", (ColumnRef("time"), Const(600),
+                                  Const(0)))
+        assert run_row(tb) == 600
+
+    def test_function_arity_errors(self):
+        with pytest.raises(ExecutionError):
+            run_row(FuncCall("TimeDiff", (Const(1),)))
+        with pytest.raises(ExecutionError):
+            run_row(FuncCall("CeilDiv", (Const(1),)))
+        with pytest.raises(ExecutionError):
+            run_row(FuncCall("TimeBin", (Const(1),)))
+        with pytest.raises(ExecutionError):
+            run_row(FuncCall("Week", ()))
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            run_row(FuncCall("Sqrt", (Const(4),)))
+
+    def test_aggregate_outside_aggregation(self):
+        with pytest.raises(ExecutionError, match="outside"):
+            run_row(FuncCall("Sum", (ColumnRef("gold"),)))
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExecutionError):
+            run_row(BinaryOp("%", Const(5), Const(2)))
+
+
+class TestBatchEval:
+    def test_column_and_const(self):
+        assert run_batch(ColumnRef("gold")).tolist() == [50, 10]
+        assert run_batch(Const(7)).tolist() == [7, 7]
+        assert run_batch(Const("x")).tolist() == ["x", "x"]
+
+    def test_comparison_masks(self):
+        expr = BinaryOp(">", ColumnRef("gold"), Const(20))
+        assert run_batch(expr).tolist() == [True, False]
+        expr = BinaryOp("=", ColumnRef("country"), Const("CN"))
+        assert run_batch(expr).tolist() == [False, True]
+
+    def test_logic_masks(self):
+        a = BinaryOp(">", ColumnRef("gold"), Const(20))
+        b = BinaryOp("=", ColumnRef("country"), Const("AU"))
+        assert run_batch(BinaryOp("AND", a, b)).tolist() == [True, False]
+        assert run_batch(BinaryOp("OR", a, b)).tolist() == [True, False]
+        assert run_batch(UnaryNot(a)).tolist() == [False, True]
+
+    def test_between_in(self):
+        expr = BetweenExpr(ColumnRef("gold"), Const(10), Const(49))
+        assert run_batch(expr).tolist() == [False, True]
+        expr = InListExpr(ColumnRef("country"), ("AU", "XX"))
+        assert run_batch(expr).tolist() == [True, False]
+
+    def test_arithmetic_vectorized(self):
+        expr = BinaryOp("*", ColumnRef("gold"), Const(2))
+        assert run_batch(expr).tolist() == [100, 20]
+
+    def test_scalar_functions_vectorized(self):
+        expr = FuncCall("TimeDiff", (ColumnRef("time"), Const(500)))
+        assert run_batch(expr).tolist() == [500, 1500]
+        expr = FuncCall("CeilDiv", (ColumnRef("time"), Const(600)))
+        assert run_batch(expr).tolist() == [2, 4]
+        expr = FuncCall("TimeBin", (ColumnRef("time"), Const(600),
+                                    Const(0)))
+        assert run_batch(expr).tolist() == [600, 1800]
+        expr = FuncCall("Week", (ColumnRef("time"), Const(0)))
+        assert run_batch(expr).tolist() == [0, 0]
+
+    def test_row_and_batch_agree(self):
+        exprs = [
+            BinaryOp(">", ColumnRef("gold"), Const(20)),
+            BetweenExpr(ColumnRef("time"), Const(900), Const(1500)),
+            FuncCall("CeilDiv", (ColumnRef("gold"), Const(7))),
+            BinaryOp("+", BinaryOp("*", ColumnRef("gold"), Const(3)),
+                     Const(1)),
+        ]
+        rows = [(50, "AU", 1000), (10, "CN", 2000)]
+        for expr in exprs:
+            batch_out = run_batch(expr)
+            for i, row in enumerate(rows):
+                row_out = eval_row(expr, row, SCHEMA)
+                assert row_out == pytest.approx(batch_out[i])
+
+
+class TestHelpers:
+    def test_contains_aggregate(self):
+        agg = FuncCall("Sum", (ColumnRef("gold"),))
+        assert contains_aggregate(agg)
+        assert contains_aggregate(BinaryOp("/", agg, Const(2)))
+        assert contains_aggregate(UnaryNot(agg))
+        assert contains_aggregate(
+            BetweenExpr(agg, Const(0), Const(1)))
+        assert contains_aggregate(InListExpr(agg, (1,)))
+        assert contains_aggregate(
+            FuncCall("TimeDiff", (agg, Const(0))))
+        assert not contains_aggregate(ColumnRef("gold"))
+        assert not contains_aggregate(Star())
+
+    def test_references(self):
+        expr = BinaryOp("+", ColumnRef("a"),
+                        FuncCall("TimeDiff", (ColumnRef("b"),
+                                              Const(1))))
+        assert expr.references() == {"a", "b"}
+        assert Star().references() == set()
+
+    def test_str_rendering(self):
+        expr = BinaryOp("=", ColumnRef("c"), Const("x"))
+        assert str(expr) == "(c = 'x')"
+        assert str(FuncCall("Count", (Star(),))) == "COUNT(*)"
+        assert "DISTINCT" in str(FuncCall("Count", (ColumnRef("p"),),
+                                          distinct=True))
+        assert "BETWEEN" in str(BetweenExpr(ColumnRef("a"), Const(0),
+                                            Const(1)))
+        assert "IN" in str(InListExpr(ColumnRef("a"), (1, 2)))
+        assert "NOT" in str(UnaryNot(ColumnRef("a")))

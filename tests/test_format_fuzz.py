@@ -1,0 +1,71 @@
+"""Failure injection for the .cohana binary format.
+
+A corrupted or truncated file must fail with a clean StorageError (or a
+bounded decode error) — never a hang, a silent crash, or an unbounded
+allocation from a crazy length field. Truncation at *every* byte boundary
+is exhaustive on a small file; header corruption is byte-by-byte over the
+fixed-layout prefix.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, StorageError
+from repro.storage import compress, deserialize, serialize
+
+from conftest import make_table1
+
+#: Exceptions a corrupted payload may legitimately surface. Anything
+#: else (or a hang) is a bug.
+ACCEPTABLE = (ReproError, ValueError, OverflowError, MemoryError,
+              UnicodeDecodeError)
+
+_PAYLOAD = serialize(compress(make_table1(), target_chunk_rows=4))
+
+
+class TestTruncation:
+    def test_every_prefix_fails_cleanly(self):
+        for length in range(len(_PAYLOAD)):
+            with pytest.raises(ACCEPTABLE):
+                deserialize(_PAYLOAD[:length])
+
+    def test_empty(self):
+        with pytest.raises(StorageError):
+            deserialize(b"")
+
+
+class TestHeaderCorruption:
+    def test_magic_bytes(self):
+        for i in range(8):
+            data = bytearray(_PAYLOAD)
+            data[i] ^= 0xFF
+            with pytest.raises(StorageError, match="magic"):
+                deserialize(bytes(data))
+
+    def test_version_bytes(self):
+        data = bytearray(_PAYLOAD)
+        data[8] ^= 0xFF
+        with pytest.raises(StorageError, match="version"):
+            deserialize(bytes(data))
+
+
+@given(position=st.integers(min_value=10, max_value=len(_PAYLOAD) - 1),
+       flip=st.integers(min_value=1, max_value=255))
+@settings(max_examples=150, deadline=None)
+def test_property_single_byte_corruption_is_contained(position, flip):
+    """Flipping any single byte either still decodes (a harmless value
+    change) or raises a clean, expected error."""
+    data = bytearray(_PAYLOAD)
+    data[position] ^= flip
+    try:
+        table = deserialize(bytes(data))
+        # If it decodes, the structure must still be self-consistent.
+        assert table.n_rows >= 0
+        assert table.n_chunks == len(table.chunks)
+    except ACCEPTABLE:
+        pass
+
+
+def test_roundtrip_still_intact():
+    assert deserialize(_PAYLOAD).n_rows == 10

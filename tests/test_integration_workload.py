@@ -1,0 +1,116 @@
+"""End-to-end integration on the synthetic game workload.
+
+Runs the paper's actual benchmark queries (Q1-Q8) on a small generated
+dataset through every evaluation path and checks exact agreement with
+the row-semantics oracle — the full pipeline test: generator → storage →
+parser → binder → planner → executors / SQL schemes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import SYSTEMS, run_everywhere
+from repro.cohana import CohanaEngine
+from repro.cohort import evaluate as oracle_evaluate
+from repro.datagen import GameConfig, generate, scale_dataset
+from repro.workloads import bind, q1, q2, q3, q4, q5, q6, q7, q8
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate(GameConfig(n_users=25, seed=13))
+
+
+@pytest.fixture(scope="module")
+def engine(table):
+    eng = CohanaEngine()
+    eng.create_table("GameActions", table, target_chunk_rows=128)
+    return eng
+
+
+def _approx(rows):
+    return [tuple(round(v, 9) if isinstance(v, float) else v for v in r)
+            for r in rows]
+
+
+ALL_QUERIES = {
+    "Q1": q1(), "Q2": q2(), "Q3": q3(), "Q4": q4(),
+    "Q5": q5("2013-05-19", "2013-05-29"),
+    "Q6": q6("2013-05-19", "2013-05-29"),
+    "Q7": q7(7), "Q8": q8(7),
+}
+
+
+class TestCohanaAgainstOracle:
+    @pytest.mark.parametrize("qname", sorted(ALL_QUERIES))
+    def test_both_executors_match_oracle(self, qname, table, engine):
+        query = bind(ALL_QUERIES[qname], table.schema)
+        expected = oracle_evaluate(query, table)
+        for executor in ("vectorized", "iterator"):
+            got = engine.query(query, executor=executor)
+            assert _approx(got.rows) == _approx(expected.rows), (
+                f"{qname}/{executor}")
+
+    def test_scaled_dataset_scales_counts(self, table):
+        """At scale 2 every cohort size and UserCount doubles and every
+        Avg is unchanged (copies behave identically)."""
+        query = bind(q1(), table.schema)
+        base = oracle_evaluate(query, table)
+        eng = CohanaEngine()
+        eng.create_table("GameActions", scale_dataset(table, 2),
+                         target_chunk_rows=128)
+        scaled = eng.query(query)
+        assert len(scaled.rows) == len(base.rows)
+        for brow, srow in zip(base.rows, scaled.rows):
+            assert srow[0] == brow[0]          # cohort label
+            assert srow[1] == 2 * brow[1]      # cohort size
+            assert srow[2] == brow[2]          # age
+            assert srow[3] == 2 * brow[3]      # UserCount
+
+    def test_avg_invariant_under_scaling(self, table):
+        query = bind(q3(), table.schema)
+        base = oracle_evaluate(query, table)
+        eng = CohanaEngine()
+        eng.create_table("GameActions", scale_dataset(table, 3),
+                         target_chunk_rows=256)
+        scaled = eng.query(query)
+        base_avg = {(r[0], r[2]): r[3] for r in base.rows}
+        for row in scaled.rows:
+            assert row[3] == pytest.approx(base_avg[(row[0], row[2])])
+
+
+class TestAllSystemsOnWorkload:
+    @pytest.mark.parametrize("qname", ["Q1", "Q3", "Q4"])
+    def test_six_way_agreement(self, qname, table):
+        query = bind(ALL_QUERIES[qname], table.schema)
+        query = query.__class__(**{**query.__dict__, "table": "D"})
+        expected = oracle_evaluate(query, table)
+        results = run_everywhere(table, query, chunk_rows=128)
+        assert set(results) == set(SYSTEMS)
+        for label, result in results.items():
+            assert _approx(result.rows) == _approx(expected.rows), (
+                f"{qname}/{label}")
+
+
+class TestPersistenceRoundTrip:
+    def test_save_query_load_query(self, tmp_path, table, engine):
+        path = tmp_path / "game.cohana"
+        engine.save_table("GameActions", path)
+        eng2 = CohanaEngine()
+        eng2.load_table("GameActions", path)
+        query = q1()
+        assert eng2.query(query).rows == engine.query(query).rows
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "mixed_query.py"])
+def test_examples_run_clean(script):
+    """Smoke-run the fast example scripts as real subprocesses."""
+    root = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(root / "examples" / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

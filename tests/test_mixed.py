@@ -1,0 +1,163 @@
+"""Tests for mixed cohort + SQL statements (Section 3.5)."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.mixed import MixedEngine, is_cohort_query, split_mixed
+
+from conftest import make_table1
+
+MIXED = """
+WITH cohorts AS (
+    SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+    FROM D
+    BIRTH FROM action = "launch"
+    AGE ACTIVITIES IN action = "shop"
+    COHORT BY country
+)
+SELECT country, age, spent FROM cohorts
+WHERE country IN ('Australia', 'China')
+ORDER BY country, age
+"""
+
+
+@pytest.fixture
+def engine(table1):
+    eng = MixedEngine()
+    eng.create_table("D", table1, target_chunk_rows=4)
+    return eng
+
+
+class TestSplitter:
+    def test_detects_cohort_query(self):
+        assert is_cohort_query('SELECT c FROM D BIRTH FROM action = "x" '
+                               'COHORT BY c')
+        assert not is_cohort_query("SELECT c FROM D")
+
+    def test_split_shapes(self):
+        stmt = split_mixed(MIXED)
+        assert list(stmt.cohort_subqueries) == ["cohorts"]
+        assert "BIRTH FROM" in stmt.cohort_subqueries["cohorts"]
+        assert stmt.sql_text.startswith("SELECT country")
+        assert "BIRTH" not in stmt.sql_text
+
+    def test_plain_sql_passthrough(self):
+        stmt = split_mixed("SELECT player FROM D")
+        assert stmt.cohort_subqueries == {}
+        assert stmt.sql_text == "SELECT player FROM D"
+
+    def test_sql_cte_preserved(self):
+        stmt = split_mixed(
+            "WITH x AS (SELECT player FROM D), c AS ("
+            'SELECT country, Sum(gold) FROM D BIRTH FROM action = "a" '
+            "COHORT BY country) SELECT * FROM x")
+        assert list(stmt.cohort_subqueries) == ["c"]
+        assert stmt.sql_text.startswith("WITH x AS (SELECT player FROM D)")
+
+    def test_outer_cohort_query_rejected(self):
+        with pytest.raises(ParseError, match="outermost"):
+            split_mixed('SELECT c, Sum(g) FROM D BIRTH FROM action = "x" '
+                        "COHORT BY c")
+
+    def test_outer_cohort_after_with_rejected(self):
+        with pytest.raises(ParseError, match="outermost"):
+            split_mixed(
+                "WITH x AS (SELECT player FROM D) "
+                'SELECT c, Sum(g) FROM D BIRTH FROM action = "x" '
+                "COHORT BY c")
+
+    def test_duplicate_with_name(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            split_mixed("WITH x AS (SELECT p FROM D), x AS "
+                        "(SELECT p FROM D) SELECT * FROM x")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError, match="unbalanced"):
+            split_mixed("WITH x AS (SELECT p FROM D SELECT * FROM x")
+
+    def test_missing_outer(self):
+        with pytest.raises(ParseError, match="outer"):
+            split_mixed("WITH x AS (SELECT p FROM D)")
+
+    def test_nested_parens_in_body(self):
+        stmt = split_mixed(
+            "WITH x AS (SELECT p FROM D WHERE (gold > 1 AND (gold < 9))) "
+            "SELECT * FROM x")
+        assert "(gold < 9)" in stmt.sql_text
+
+
+class TestMixedEngine:
+    def test_paper_example(self, engine):
+        out = engine.execute(MIXED)
+        assert out.names == ["country", "age", "spent"]
+        countries = set(out.column("country"))
+        assert countries <= {"Australia", "China"}
+        # Player 001 (Australia) shops at ages 1..3; China never shops.
+        assert [r for r in out.rows if r[0] == "Australia"] == [
+            ("Australia", 1, 50), ("Australia", 2, 100),
+            ("Australia", 3, 50)]
+
+    def test_sql_aggregation_over_cohorts(self, engine):
+        out = engine.execute("""
+            WITH cohorts AS (
+                SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+                FROM D BIRTH FROM action = "launch"
+                AGE ACTIVITIES IN action = "shop"
+                COHORT BY country
+            )
+            SELECT country, Sum(spent) AS total FROM cohorts
+            GROUP BY country ORDER BY total DESC
+        """)
+        assert out.rows[0] == ("Australia", 200)
+
+    def test_two_cohort_subqueries(self, engine):
+        out = engine.execute("""
+            WITH launch_c AS (
+                SELECT country, COHORTSIZE, AGE, UserCount()
+                FROM D BIRTH FROM action = "launch" COHORT BY country
+            ),
+            shop_c AS (
+                SELECT country, COHORTSIZE, AGE, UserCount()
+                FROM D BIRTH FROM action = "shop" COHORT BY country
+            )
+            SELECT a.country, b.country FROM launch_c a, shop_c b
+            WHERE a.country = b.country
+        """)
+        assert len(out) >= 1
+
+    def test_plain_sql_still_works(self, engine):
+        out = engine.execute("SELECT Count(*) AS n FROM D")
+        assert out.rows == [(10,)]
+
+    def test_cohort_subquery_reading_subquery_rejected(self, engine):
+        with pytest.raises(BindError, match="base activity table"):
+            engine.execute("""
+                WITH a AS (
+                    SELECT country, Sum(gold) FROM D
+                    BIRTH FROM action = "launch" COHORT BY country
+                ),
+                b AS (
+                    SELECT country, Sum(gold) FROM a
+                    BIRTH FROM action = "shop" COHORT BY country
+                )
+                SELECT * FROM b
+            """)
+
+    def test_cohort_subquery_unknown_table(self, engine):
+        with pytest.raises(BindError, match="unknown activity table"):
+            engine.execute("""
+                WITH a AS (
+                    SELECT country, Sum(gold) FROM Nope
+                    BIRTH FROM action = "launch" COHORT BY country
+                )
+                SELECT * FROM a
+            """)
+
+    def test_rows_executor_variant(self, table1):
+        eng = MixedEngine(executor="rows", cohana_executor="iterator")
+        eng.create_table("D", table1)
+        out = eng.execute(MIXED)
+        assert len(out) == 3
+
+    def test_tables_listing(self, engine):
+        assert engine.tables() == ["D"]

@@ -1,0 +1,256 @@
+"""Tests for the row and columnar relational engines.
+
+Every behavioural test runs against both executors; a hypothesis
+differential test checks they agree on random queries over random data.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError
+from repro.relational import Database, RelTable
+from repro.schema import parse_timestamp
+from repro.table import ActivityTable
+
+from conftest import make_game_schema, make_table1
+
+
+def make_db(executor: str) -> Database:
+    db = Database(executor=executor)
+    db.register_activity_table("D", make_table1())
+    return db
+
+
+@pytest.fixture(params=["rows", "columnar"])
+def db(request) -> Database:
+    return make_db(request.param)
+
+
+class TestBasics:
+    def test_select_all(self, db):
+        out = db.execute("SELECT * FROM D")
+        assert len(out) == 10
+        assert out.names == ["player", "time", "action", "role",
+                             "country", "gold"]
+
+    def test_projection_and_alias(self, db):
+        out = db.execute("SELECT player AS p, gold FROM D LIMIT 3")
+        assert out.names == ["p", "gold"]
+        assert len(out) == 3
+
+    def test_filter(self, db):
+        out = db.execute("SELECT player FROM D WHERE action = 'shop'")
+        assert len(out) == 5
+
+    def test_filter_numeric(self, db):
+        out = db.execute("SELECT gold FROM D WHERE gold >= 50")
+        assert sorted(out.column("gold")) == [50, 50, 100]
+
+    def test_between(self, db):
+        t1 = parse_timestamp("2013/05/20:0000")
+        t2 = parse_timestamp("2013/05/21:0000")
+        out = db.execute(
+            f"SELECT player FROM D WHERE time BETWEEN {t1} AND {t2}")
+        assert len(out) == 4
+
+    def test_in_list(self, db):
+        out = db.execute(
+            "SELECT player FROM D WHERE country IN ('China', 'Australia')")
+        assert len(out) == 7
+
+    def test_and_or_not(self, db):
+        out = db.execute(
+            "SELECT player FROM D WHERE action = 'shop' AND "
+            "(country = 'China' OR NOT gold < 40)")
+        assert len(out) == 4
+
+    def test_arithmetic(self, db):
+        out = db.execute("SELECT gold * 2 + 1 AS v FROM D WHERE gold = 50 "
+                         "LIMIT 1")
+        assert out.rows == [(101,)]
+
+    def test_distinct(self, db):
+        out = db.execute("SELECT DISTINCT player FROM D")
+        assert sorted(out.column("player")) == ["001", "002", "003"]
+
+    def test_order_by_desc(self, db):
+        out = db.execute("SELECT DISTINCT gold FROM D ORDER BY gold DESC")
+        assert out.column("gold") == [100, 50, 40, 30, 0]
+
+    def test_multi_key_order(self, db):
+        out = db.execute(
+            "SELECT player, gold FROM D ORDER BY player DESC, gold ASC "
+            "LIMIT 3")
+        assert out.rows[0][0] == "003"
+
+    def test_empty_result(self, db):
+        out = db.execute("SELECT player FROM D WHERE gold > 10000")
+        assert len(out) == 0
+
+
+class TestAggregation:
+    def test_group_by_sum(self, db):
+        out = db.execute(
+            "SELECT country, Sum(gold) AS total FROM D GROUP BY country")
+        totals = dict(out.rows)
+        assert totals == {"Australia": 200, "United States": 70,
+                          "China": 0}
+
+    def test_count_star_and_distinct(self, db):
+        out = db.execute(
+            "SELECT Count(*) AS n, Count(DISTINCT player) AS u FROM D")
+        assert out.rows == [(10, 3)]
+
+    def test_avg_min_max(self, db):
+        out = db.execute(
+            "SELECT Avg(gold) AS a, Min(gold) AS lo, Max(gold) AS hi "
+            "FROM D WHERE action = 'shop'")
+        a, lo, hi = out.rows[0]
+        assert (round(a, 2), lo, hi) == (54.0, 30, 100)
+
+    def test_global_aggregate_on_empty_input(self, db):
+        out = db.execute("SELECT Count(*) AS n FROM D WHERE gold > 10000")
+        assert out.rows == [(0,)]
+
+    def test_group_by_expression_alias(self, db):
+        origin = parse_timestamp("2013-05-19")
+        out = db.execute(
+            f"SELECT week, Sum(gold) AS total FROM D "
+            f"GROUP BY Week(time, {origin}) AS week")
+        assert len(out) == 1  # all of Table 1 is within one week
+        assert out.rows[0][1] == 270
+
+    def test_aggregate_arithmetic(self, db):
+        out = db.execute(
+            "SELECT Sum(gold) / Count(*) AS per_event FROM D")
+        assert out.rows[0][0] == 27.0
+
+    def test_timediff(self, db):
+        out = db.execute(
+            "SELECT TimeDiff(Max(time), Min(time)) AS span FROM D")
+        expected = (parse_timestamp("2013/05/22:1700")
+                    - parse_timestamp("2013/05/19:1000"))
+        assert out.rows[0][0] == expected
+
+
+class TestJoins:
+    def test_self_join_equi(self, db):
+        out = db.execute(
+            "SELECT a.player FROM D a, D b "
+            "WHERE a.player = b.player AND a.time = b.time AND "
+            "a.action = b.action")
+        assert len(out) == 10  # primary key join matches each row once
+
+    def test_join_with_residual(self, db):
+        out = db.execute(
+            "SELECT a.gold, b.gold FROM D a, D b "
+            "WHERE a.player = b.player AND a.gold < b.gold")
+        assert all(g1 < g2 for g1, g2 in out.rows)
+
+    def test_join_on_syntax(self, db):
+        out = db.execute(
+            "SELECT a.player FROM D a JOIN D b ON a.player = b.player "
+            "WHERE a.action = 'launch' AND b.action = 'launch'")
+        assert len(out) == 3
+
+    def test_cross_join(self, db):
+        out = db.execute(
+            "SELECT a.player FROM (SELECT DISTINCT player FROM D) a, "
+            "(SELECT DISTINCT country FROM D) b")
+        assert len(out) == 9
+
+    def test_cte_join(self, db):
+        out = db.execute("""
+            WITH birth AS (
+                SELECT player AS p, Min(time) AS bt FROM D
+                WHERE action = 'launch' GROUP BY player
+            )
+            SELECT D.player, D.action FROM D, birth
+            WHERE D.player = birth.p AND D.time = birth.bt
+        """)
+        assert sorted(out.column("action")) == ["launch"] * 3
+
+
+class TestDatabase:
+    def test_create_table_as(self, db):
+        db.create_table_as("shops", "SELECT * FROM D WHERE action = 'shop'")
+        assert len(db.table("shops")) == 5
+        out = db.execute("SELECT Count(*) AS n FROM shops")
+        assert out.rows == [(5,)]
+
+    def test_duplicate_registration(self, db):
+        with pytest.raises(CatalogError):
+            db.register_activity_table("D", make_table1())
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.table("nope")
+
+    def test_drop(self, db):
+        db.drop("D")
+        assert db.tables() == []
+
+    def test_bad_executor(self):
+        with pytest.raises(CatalogError):
+            Database(executor="gpu")
+
+    def test_explain(self, db):
+        assert "Scan(D)" in db.explain("SELECT player FROM D")
+
+    def test_to_text(self, db):
+        text = db.execute("SELECT player, gold FROM D LIMIT 2").to_text()
+        assert "player" in text and "gold" in text
+
+
+# -- differential: rows vs columnar ------------------------------------------------
+
+_QUERIES = [
+    "SELECT player, gold FROM D WHERE gold > {x}",
+    "SELECT country, Sum(gold) AS s, Count(*) AS n FROM D "
+    "GROUP BY country",
+    "SELECT role, Count(DISTINCT player) AS u FROM D GROUP BY role",
+    "SELECT DISTINCT country FROM D ORDER BY country",
+    "SELECT a.player, b.gold FROM D a, D b WHERE a.player = b.player "
+    "AND a.gold > b.gold",
+    "SELECT action, Min(gold) AS lo, Max(gold) AS hi, Avg(gold) AS m "
+    "FROM D GROUP BY action",
+    "SELECT player FROM D WHERE country IN ('China', 'Australia') "
+    "AND gold <= {x}",
+]
+
+_users = st.integers(0, 6).map(lambda i: f"u{i}")
+_actions = st.sampled_from(["launch", "shop", "fight"])
+
+
+@st.composite
+def random_activity(draw):
+    n = draw(st.integers(1, 50))
+    keys = set()
+    for _ in range(n):
+        keys.add((draw(_users), draw(st.integers(0, 10**6)),
+                  draw(_actions)))
+    rows = [(u, t, a, draw(st.sampled_from(["dwarf", "mage"])),
+             draw(st.sampled_from(["AU", "CN", "US"])),
+             draw(st.integers(0, 99))) for (u, t, a) in sorted(keys)]
+    return ActivityTable.from_rows(make_game_schema(), rows)
+
+
+@given(table=random_activity(),
+       query_template=st.sampled_from(_QUERIES),
+       x=st.integers(0, 99))
+@settings(max_examples=80, deadline=None)
+def test_property_row_and_columnar_agree(table, query_template, x):
+    sql = query_template.format(x=x)
+    results = []
+    for executor in ("rows", "columnar"):
+        db = Database(executor=executor)
+        db.register_activity_table("D", table)
+        out = db.execute(sql)
+        results.append((out.names,
+                        sorted(_round(r) for r in out.rows)))
+    assert results[0] == results[1]
+
+
+def _round(row):
+    return tuple(round(v, 9) if isinstance(v, float) else v for v in row)

@@ -1,0 +1,134 @@
+"""Render → parse → bind round-trip tests for cohort queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.cohana import bind_cohort_query, parse_cohort_query, \
+    render_condition, render_query
+from repro.cohort import (
+    AggregateSpec,
+    And,
+    Between,
+    CohortQuery,
+    Compare,
+    InList,
+    Not,
+    Or,
+    TrueCondition,
+    age_ref,
+    attr,
+    birth,
+    eq,
+    lit,
+)
+
+from conftest import make_game_schema
+
+
+class TestRenderCondition:
+    def test_compare(self):
+        assert render_condition(eq("country", "AU")) == 'country = "AU"'
+
+    def test_birth_and_age(self):
+        cond = Compare(attr("role"), "=", birth("role"))
+        assert render_condition(cond) == "role = Birth(role)"
+        cond = Compare(age_ref(), "<", lit(7))
+        assert render_condition(cond) == "AGE < 7"
+
+    def test_between_and_in(self):
+        cond = Between(attr("gold"), lit(1), lit(5))
+        assert render_condition(cond) == "gold BETWEEN 1 AND 5"
+        cond = InList(attr("country"), ("AU", "CN"))
+        assert render_condition(cond) == 'country IN ["AU", "CN"]'
+
+    def test_nesting_parenthesized(self):
+        cond = And((Or((eq("a", 1), eq("b", 2))), Not(eq("c", 3))))
+        text = render_condition(cond)
+        assert text == "(a = 1 OR b = 2) AND NOT c = 3"
+
+    def test_quote_escaping(self):
+        assert render_condition(eq("c", 'x"y')) == 'c = "x""y"'
+
+    def test_true_condition_rejected(self):
+        with pytest.raises(QueryError):
+            render_condition(TrueCondition())
+
+
+class TestRenderQuery:
+    def test_round_trip_q1(self, game_schema):
+        query = CohortQuery(
+            birth_action="launch",
+            cohort_by=("country",),
+            aggregates=(AggregateSpec("SUM", "gold", "spent"),),
+            birth_condition=eq("role", "dwarf"),
+            age_condition=eq("action", "shop"),
+            table="D",
+        )
+        text = render_query(query)
+        back = bind_cohort_query(parse_cohort_query(text), game_schema)
+        assert back == query
+
+    def test_requires_table(self):
+        query = CohortQuery(
+            birth_action="launch", cohort_by=("country",),
+            aggregates=(AggregateSpec("COUNT", None, "n"),))
+        with pytest.raises(QueryError, match="table"):
+            render_query(query)
+
+
+# -- property round trip ----------------------------------------------------------
+
+_conditions = st.sampled_from([
+    TrueCondition(),
+    eq("role", "dwarf"),
+    And((eq("role", "dwarf"), eq("country", "CN"))),
+    Or((eq("country", "AU"), eq("country", "US"))),
+    Not(eq("role", "wizard")),
+    Between(attr("time"), lit(0), lit(86400 * 7)),
+    InList(attr("country"), ("AU", "CN")),
+])
+_age_conditions = st.sampled_from([
+    TrueCondition(),
+    eq("action", "shop"),
+    Compare(age_ref(), "<=", lit(9)),
+    Compare(attr("role"), "=", birth("role")),
+    And((eq("action", "shop"),
+         Compare(attr("country"), "=", birth("country")))),
+])
+_aggregates = st.sampled_from([
+    (AggregateSpec("SUM", "gold", "m"),),
+    (AggregateSpec("AVG", "gold", "m"),),
+    (AggregateSpec("USERCOUNT", None, "m"),),
+    (AggregateSpec("COUNT", None, "m"),
+     AggregateSpec("MAX", "gold", "peak")),
+])
+
+
+@given(birth_condition=_conditions, age_condition=_age_conditions,
+       aggregates=_aggregates,
+       cohort_by=st.sampled_from([("country",), ("country", "role"),
+                                  ("time",)]),
+       birth_action=st.sampled_from(["launch", "shop"]),
+       age_unit=st.sampled_from(["day", "week"]),
+       time_bin=st.sampled_from(["day", "week"]))
+@settings(max_examples=150, deadline=None)
+def test_property_render_parse_bind_round_trip(
+        birth_condition, age_condition, aggregates, cohort_by,
+        birth_action, age_unit, time_bin):
+    query = CohortQuery(
+        birth_action=birth_action,
+        cohort_by=cohort_by,
+        aggregates=aggregates,
+        birth_condition=birth_condition,
+        age_condition=age_condition,
+        age_unit=age_unit,
+        cohort_time_bin=time_bin,
+        table="D",
+    )
+    schema = make_game_schema()
+    text = render_query(query)
+    back = bind_cohort_query(parse_cohort_query(text), schema,
+                             age_unit=age_unit)
+    assert back == query

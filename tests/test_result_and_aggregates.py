@@ -1,0 +1,181 @@
+"""Unit tests for CohortResult/CohortReport and the aggregate machinery."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.cohort import AggregateSpec, CohortResult, make_accumulator
+from repro.cohort.aggregates import UserCountAccumulator
+from repro.cohana.aggregate import (
+    ArrayAggregateTable,
+    CohortCodec,
+    CohortSizeTable,
+)
+
+ROWS = [
+    ("AU", 3, 1, 50), ("AU", 3, 2, 100),
+    ("CN", 5, 1, 10), ("CN", 5, 3, 30),
+]
+
+
+@pytest.fixture
+def result():
+    return CohortResult(columns=["country", "cohort_size", "age", "m"],
+                        rows=list(ROWS), n_cohort_columns=1)
+
+
+class TestCohortResult:
+    def test_len_iter(self, result):
+        assert len(result) == 4
+        assert list(result)[0] == ("AU", 3, 1, 50)
+
+    def test_column_access(self, result):
+        assert result.column_values("age") == [1, 2, 1, 3]
+        with pytest.raises(QueryError):
+            result.column_index("nope")
+
+    def test_bad_row_width(self):
+        with pytest.raises(QueryError):
+            CohortResult(columns=["a", "b"], rows=[(1,)])
+
+    def test_sorted(self):
+        shuffled = CohortResult(
+            columns=["country", "cohort_size", "age", "m"],
+            rows=[ROWS[3], ROWS[0], ROWS[2], ROWS[1]])
+        assert shuffled.sorted().rows == ROWS
+
+    def test_as_dicts(self, result):
+        d = result.as_dicts()[0]
+        assert d == {"country": "AU", "cohort_size": 3, "age": 1,
+                     "m": 50}
+
+    def test_to_text(self, result):
+        text = result.to_text(max_rows=2)
+        assert "country" in text
+        assert "more rows" in text
+
+
+class TestPivot:
+    def test_matrix(self, result):
+        report = result.pivot("m")
+        assert report.cohort_labels == ["AU", "CN"]
+        assert report.cohort_sizes == [3, 5]
+        assert report.ages == [1, 2, 3]
+        assert report.cell("AU", 1) == 50
+        assert report.cell("AU", 3) is None
+        assert report.cell("CN", 3) == 30
+        assert report.cell("Narnia", 1) is None
+
+    def test_default_measure(self, result):
+        assert result.pivot().measure == "m"
+
+    def test_to_text_contains_sizes(self, result):
+        text = result.pivot("m").to_text()
+        assert "AU (3)" in text and "CN (5)" in text
+
+    def test_multi_attribute_labels(self):
+        result = CohortResult(
+            columns=["country", "role", "cohort_size", "age", "m"],
+            rows=[("AU", "dwarf", 2, 1, 9)], n_cohort_columns=2)
+        report = result.pivot("m")
+        assert report.cohort_labels == ["AU / dwarf"]
+
+
+class TestAccumulators:
+    @pytest.mark.parametrize("func,values,expected", [
+        ("SUM", [1, 2, 3], 6),
+        ("COUNT", [1, 2, 3], 3),
+        ("AVG", [1, 2, 3], 2.0),
+        ("MIN", [3, 1, 2], 1),
+        ("MAX", [3, 1, 2], 3),
+    ])
+    def test_basic(self, func, values, expected):
+        acc = make_accumulator(func)
+        for v in values:
+            acc.add(v, "u")
+        assert acc.result() == expected
+
+    def test_avg_empty_is_none(self):
+        assert make_accumulator("AVG").result() is None
+
+    def test_min_max_empty_is_none(self):
+        assert make_accumulator("MIN").result() is None
+        assert make_accumulator("MAX").result() is None
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            make_accumulator("MEDIAN")
+
+    @pytest.mark.parametrize("func", ["SUM", "COUNT", "AVG", "MIN",
+                                      "MAX"])
+    def test_merge_equals_combined(self, func):
+        a = make_accumulator(func)
+        b = make_accumulator(func)
+        combined = make_accumulator(func)
+        for v in (5, 1):
+            a.add(v, "u1")
+            combined.add(v, "u1")
+        for v in (9, 2):
+            b.add(v, "u2")
+            combined.add(v, "u2")
+        a.merge(b)
+        assert a.result() == combined.result()
+
+    def test_usercount_distinct_within_chunk(self):
+        acc = UserCountAccumulator()
+        for user in ("a", "a", "b"):
+            acc.add(None, user)
+        assert acc.result() == 2
+
+    def test_usercount_merge_adds_disjoint_counts(self):
+        # merge() relies on the chunking invariant: disjoint users
+        a = UserCountAccumulator()
+        a.add(None, "a")
+        b = UserCountAccumulator()
+        b.add(None, "b")
+        b.add(None, "c")
+        a.merge(b)
+        assert a.result() == 3
+
+
+class TestArrayTables:
+    SPECS = (AggregateSpec("SUM", "gold", "s"),
+             AggregateSpec("USERCOUNT", None, "u"))
+
+    def test_codec(self):
+        codec = CohortCodec()
+        assert codec.code(("AU",)) == 0
+        assert codec.code(("CN",)) == 1
+        assert codec.code(("AU",)) == 0
+        assert codec.label(1) == ("CN",)
+        assert len(codec) == 2
+        assert codec.labels() == [("AU",), ("CN",)]
+
+    def test_update_and_buckets(self):
+        table = ArrayAggregateTable(self.SPECS)
+        table.update(0, 1, {"gold": 5}, "u1")
+        table.update(0, 1, {"gold": 7}, "u2")
+        table.update(2, 3, {"gold": 1}, "u3")
+        buckets = {(c, a): [acc.result() for acc in cell]
+                   for c, a, cell in table.buckets()}
+        assert buckets[(0, 1)] == [12, 2]
+        assert buckets[(2, 3)] == [1, 1]
+
+    def test_merge(self):
+        a = ArrayAggregateTable(self.SPECS)
+        a.update(0, 1, {"gold": 5}, "u1")
+        b = ArrayAggregateTable(self.SPECS)
+        b.update(0, 1, {"gold": 3}, "u9")
+        b.update(1, 2, {"gold": 8}, "u2")
+        a.merge(b)
+        buckets = {(c, g): [acc.result() for acc in cell]
+                   for c, g, cell in a.buckets()}
+        assert buckets[(0, 1)] == [8, 2]
+        assert buckets[(1, 2)] == [8, 1]
+
+    def test_size_table(self):
+        sizes = CohortSizeTable()
+        sizes.increment(3)
+        sizes.increment(3)
+        assert sizes.count(3) == 2
+        assert sizes.count(0) == 0
+        assert sizes.count(99) == 0

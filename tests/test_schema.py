@@ -1,0 +1,166 @@
+"""Unit tests for repro.schema: types, column specs and activity schemas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    ActivitySchema,
+    ColumnRole,
+    ColumnSpec,
+    LogicalType,
+    action_column,
+    coerce_value,
+    dimension_column,
+    format_timestamp,
+    measure_column,
+    parse_timestamp,
+    time_column,
+    user_column,
+)
+
+
+class TestParseTimestamp:
+    def test_paper_format(self):
+        # 2013/05/19:1000 == 2013-05-19 10:00 UTC
+        ts = parse_timestamp("2013/05/19:1000")
+        assert format_timestamp(ts) == "2013-05-19 10:00:00"
+
+    def test_iso_date(self):
+        ts = parse_timestamp("2013-05-21")
+        assert format_timestamp(ts) == "2013-05-21"
+
+    def test_iso_datetime_space(self):
+        ts = parse_timestamp("2013-05-21 14:30")
+        assert format_timestamp(ts) == "2013-05-21 14:30:00"
+
+    def test_iso_datetime_t_and_seconds(self):
+        ts = parse_timestamp("2013-05-21T14:30:05")
+        assert format_timestamp(ts) == "2013-05-21 14:30:05"
+
+    def test_ordering_of_paper_timestamps(self):
+        earlier = parse_timestamp("2013/05/19:1000")
+        later = parse_timestamp("2013/05/20:0800")
+        assert earlier < later
+
+    def test_bad_literal_raises(self):
+        with pytest.raises(SchemaError):
+            parse_timestamp("not a time")
+
+    def test_bad_paper_format_raises(self):
+        with pytest.raises(SchemaError):
+            parse_timestamp("2013/xx/19:1000")
+
+    def test_day_roundtrip(self):
+        assert parse_timestamp("2013-05-20") - parse_timestamp(
+            "2013-05-19") == 86400
+
+
+class TestLogicalType:
+    def test_integer_like(self):
+        assert LogicalType.INT.is_integer_like
+        assert LogicalType.TIMESTAMP.is_integer_like
+        assert not LogicalType.STRING.is_integer_like
+        assert not LogicalType.FLOAT.is_integer_like
+
+    def test_numpy_dtypes(self):
+        assert LogicalType.STRING.numpy_dtype() == np.dtype(object)
+        assert LogicalType.INT.numpy_dtype() == np.dtype(np.int64)
+        assert LogicalType.TIMESTAMP.numpy_dtype() == np.dtype(np.int64)
+        assert LogicalType.FLOAT.numpy_dtype() == np.dtype(np.float64)
+
+    def test_coerce_string(self):
+        assert coerce_value(5, LogicalType.STRING) == "5"
+
+    def test_coerce_timestamp_from_string(self):
+        assert coerce_value("2013-05-19", LogicalType.TIMESTAMP) == \
+            parse_timestamp("2013-05-19")
+
+    def test_coerce_timestamp_from_int(self):
+        assert coerce_value(12345, LogicalType.TIMESTAMP) == 12345
+
+    def test_coerce_numerics(self):
+        assert coerce_value("7", LogicalType.INT) == 7
+        assert coerce_value("2.5", LogicalType.FLOAT) == 2.5
+
+
+class TestColumnSpec:
+    def test_role_type_enforcement(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("u", LogicalType.INT, ColumnRole.USER)
+        with pytest.raises(SchemaError):
+            ColumnSpec("t", LogicalType.STRING, ColumnRole.TIME)
+        with pytest.raises(SchemaError):
+            ColumnSpec("a", LogicalType.INT, ColumnRole.ACTION)
+
+    def test_measure_must_be_numeric(self):
+        with pytest.raises(SchemaError):
+            measure_column("gold", LogicalType.STRING)
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", LogicalType.INT, ColumnRole.MEASURE)
+        with pytest.raises(SchemaError):
+            ColumnSpec("a b", LogicalType.INT, ColumnRole.MEASURE)
+
+    def test_helpers(self):
+        assert user_column().role is ColumnRole.USER
+        assert time_column().role is ColumnRole.TIME
+        assert action_column().role is ColumnRole.ACTION
+        assert dimension_column("country").ltype is LogicalType.STRING
+        assert measure_column("gold").ltype is LogicalType.INT
+
+
+class TestActivitySchema:
+    def test_build_and_accessors(self, game_schema):
+        assert game_schema.user.name == "player"
+        assert game_schema.time.name == "time"
+        assert game_schema.action.name == "action"
+        assert [d.name for d in game_schema.dimensions] == ["role", "country"]
+        assert [m.name for m in game_schema.measures] == ["gold"]
+        assert game_schema.names() == [
+            "player", "time", "action", "role", "country", "gold"]
+        assert len(game_schema) == 6
+        assert "country" in game_schema
+        assert "nope" not in game_schema
+
+    def test_index_of(self, game_schema):
+        assert game_schema.index_of("action") == 2
+        with pytest.raises(SchemaError):
+            game_schema.index_of("nope")
+
+    def test_unknown_column(self, game_schema):
+        with pytest.raises(SchemaError):
+            game_schema.column("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            ActivitySchema.build("u", "t", "a", dimensions=["u"])
+
+    def test_missing_role_rejected(self):
+        cols = (user_column("u"), time_column("t"))
+        with pytest.raises(SchemaError, match="action"):
+            ActivitySchema(cols)
+
+    def test_two_user_columns_rejected(self):
+        cols = (user_column("u"), user_column("v"), time_column("t"),
+                action_column("a"))
+        with pytest.raises(SchemaError):
+            ActivitySchema(cols)
+
+    def test_list_dimensions_default_to_string(self):
+        schema = ActivitySchema.build("u", "t", "a",
+                                      dimensions=["country"],
+                                      measures=["gold"])
+        assert schema.column("country").ltype is LogicalType.STRING
+        assert schema.column("gold").ltype is LogicalType.INT
+
+    def test_cohort_attribute_validation(self, game_schema):
+        game_schema.validate_cohort_attributes(["country"])
+        game_schema.validate_cohort_attributes(["time", "role"])
+        with pytest.raises(SchemaError):
+            game_schema.validate_cohort_attributes(["player"])
+        with pytest.raises(SchemaError):
+            game_schema.validate_cohort_attributes(["action"])
+        with pytest.raises(SchemaError):
+            game_schema.validate_cohort_attributes([])

@@ -1,0 +1,188 @@
+"""Unit tests for the SQL subset parser and binder."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.relational import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Const,
+    Filter,
+    FuncCall,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+)
+from repro.sqlparser import SqlBinder, parse_sql
+from repro.sqlparser.ast import SelectItem, StarItem, SubqueryRef, TableRef
+
+CATALOG = {
+    "D": ["p", "t", "a", "c", "role", "gold"],
+    "MV": ["p", "t", "a", "c", "gold", "bc", "br", "bt", "age"],
+}
+
+
+def bind(sql):
+    return SqlBinder(lambda name: CATALOG.get(name)).bind(parse_sql(sql))
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse_sql("SELECT p, gold FROM D")
+        assert len(q.select.items) == 2
+        assert q.select.items[0].expr == ColumnRef("p")
+        assert isinstance(q.select.from_tables[0], TableRef)
+
+    def test_star(self):
+        q = parse_sql("SELECT * FROM D")
+        assert isinstance(q.select.items[0], StarItem)
+
+    def test_aliases(self):
+        q = parse_sql("SELECT p AS player, gold g FROM D t1")
+        assert q.select.items[0].alias == "player"
+        assert q.select.items[1].alias == "g"
+        assert q.select.from_tables[0].alias == "t1"
+
+    def test_where_precedence(self):
+        q = parse_sql("SELECT p FROM D WHERE a = 'x' OR a = 'y' AND gold > 3")
+        where = q.select.where
+        assert where.op == "OR"  # AND binds tighter
+
+    def test_between_and_in(self):
+        q = parse_sql("SELECT p FROM D WHERE t BETWEEN 1 AND 5 "
+                      "AND c IN ('AU', 'CN')")
+        assert q.select.where.op == "AND"
+
+    def test_comma_join_and_join_on(self):
+        q = parse_sql("SELECT D.p FROM D, MV JOIN D d2 ON d2.p = D.p")
+        assert len(q.select.from_tables) == 2
+        assert len(q.select.joins) == 1
+
+    def test_group_by_with_alias(self):
+        # the paper's idiom: GROUP BY Week(time) as week
+        q = parse_sql("SELECT week, Avg(gold) FROM D "
+                      "GROUP BY Week(t) AS week")
+        assert q.select.group_by[0].alias == "week"
+        assert isinstance(q.select.group_by[0].expr, FuncCall)
+
+    def test_order_limit_distinct(self):
+        q = parse_sql("SELECT DISTINCT p FROM D ORDER BY p DESC, gold "
+                      "LIMIT 3")
+        assert q.select.distinct
+        assert q.select.order_by[0].ascending is False
+        assert q.select.order_by[1].ascending is True
+        assert q.select.limit == 3
+
+    def test_with_clause(self):
+        q = parse_sql("WITH x AS (SELECT p FROM D), "
+                      "y AS (SELECT p FROM x) SELECT p FROM y")
+        assert [c.name for c in q.ctes] == ["x", "y"]
+
+    def test_subquery_in_from(self):
+        q = parse_sql("SELECT s.p FROM (SELECT p FROM D) s")
+        assert isinstance(q.select.from_tables[0], SubqueryRef)
+
+    def test_count_star_and_distinct(self):
+        q = parse_sql("SELECT Count(*), Count(DISTINCT p) FROM D")
+        first, second = (i.expr for i in q.select.items)
+        assert first.name == "COUNT" and not first.distinct
+        assert second.distinct
+
+    def test_arithmetic_precedence(self):
+        q = parse_sql("SELECT gold + 2 * 3 FROM D")
+        expr = q.select.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_qualified_column(self):
+        q = parse_sql("SELECT D.gold FROM D")
+        assert q.select.items[0].expr == ColumnRef("D.gold")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT p FROM D extra garbage here(")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT p")
+
+    def test_bad_limit(self):
+        with pytest.raises(ParseError, match="LIMIT"):
+            parse_sql("SELECT p FROM D LIMIT x")
+
+
+class TestBinder:
+    def test_scan_project(self):
+        plan = bind("SELECT p, gold FROM D")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Scan)
+        assert plan.output_names() == ["p", "gold"]
+
+    def test_star_expansion(self):
+        plan = bind("SELECT * FROM D")
+        assert plan.output_names() == CATALOG["D"]
+
+    def test_filter(self):
+        plan = bind("SELECT p FROM D WHERE gold > 3")
+        assert isinstance(plan.child, Filter)
+
+    def test_join_shape(self):
+        plan = bind("SELECT D.p FROM D, MV WHERE D.p = MV.p")
+        filt = plan.child
+        assert isinstance(filt, Filter)
+        assert isinstance(filt.child, Join)
+
+    def test_aggregate_plan(self):
+        plan = bind("SELECT c, Sum(gold) AS total FROM D GROUP BY c")
+        assert isinstance(plan, Project)
+        agg = plan.child
+        assert isinstance(agg, Aggregate)
+        assert agg.group_names == ["c"]
+        assert agg.agg_calls[0].name == "SUM"
+        assert plan.output_names() == ["c", "total"]
+
+    def test_group_alias_referenced_in_select(self):
+        plan = bind("SELECT week, Avg(gold) FROM D GROUP BY Week(t) AS week")
+        assert plan.output_names()[0] == "week"
+
+    def test_ungrouped_column_rejected(self):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind("SELECT role, Sum(gold) FROM D GROUP BY c")
+
+    def test_star_with_aggregate_rejected(self):
+        with pytest.raises(BindError, match="[Aa]ggregat"):
+            bind("SELECT *, Sum(gold) FROM D GROUP BY c")
+
+    def test_unknown_table(self):
+        with pytest.raises(BindError, match="unknown table"):
+            bind("SELECT p FROM nope")
+
+    def test_cte_visibility(self):
+        plan = bind("WITH x AS (SELECT p, gold FROM D) "
+                    "SELECT p FROM x WHERE gold > 1")
+        assert isinstance(plan, Project)
+        assert "SubqueryScan" in plan.describe()
+
+    def test_duplicate_cte(self):
+        with pytest.raises(BindError, match="duplicate"):
+            bind("WITH x AS (SELECT p FROM D), x AS (SELECT p FROM D) "
+                 "SELECT p FROM x")
+
+    def test_order_and_limit_nodes(self):
+        plan = bind("SELECT p FROM D ORDER BY p LIMIT 2")
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, Sort)
+
+    def test_shared_aggregate_slots(self):
+        plan = bind("SELECT Sum(gold), Sum(gold) FROM D GROUP BY c")
+        agg = plan.child
+        assert len(agg.agg_calls) == 1  # deduplicated
+
+    def test_describe_tree(self):
+        text = bind("SELECT c, Sum(gold) FROM D GROUP BY c").describe()
+        assert "Aggregate" in text
+        assert "Scan(D)" in text

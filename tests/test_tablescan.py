@@ -1,0 +1,103 @@
+"""Unit tests for the modified TableScan (ChunkScan / LazyRow)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.cohana.tablescan import ChunkScan
+from repro.schema import parse_timestamp
+from repro.storage import compress
+
+
+@pytest.fixture
+def scan(table1):
+    compressed = compress(table1, target_chunk_rows=1000)
+    return ChunkScan(compressed, compressed.chunks[0]), compressed
+
+
+class TestUserNavigation:
+    def test_get_next_user_triples(self, scan):
+        chunk_scan, compressed = scan
+        triples = []
+        while chunk_scan.has_more_users():
+            gid, first, count = chunk_scan.get_next_user()
+            triples.append((compressed.user_name(gid), first, count))
+        assert triples == [("001", 0, 5), ("002", 5, 3), ("003", 8, 2)]
+
+    def test_get_next_user_past_end(self, scan):
+        chunk_scan, _ = scan
+        for _ in range(3):
+            chunk_scan.get_next_user()
+        with pytest.raises(ExecutionError):
+            chunk_scan.get_next_user()
+
+    def test_get_next_before_user(self, scan):
+        chunk_scan, _ = scan
+        with pytest.raises(ExecutionError):
+            chunk_scan.get_next()
+
+    def test_skip_cur_user_counts(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        assert chunk_scan.skip_cur_user() == 5
+        assert chunk_scan.skip_cur_user() == 0
+
+    def test_partial_skip(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        chunk_scan.get_next()
+        chunk_scan.get_next()
+        assert chunk_scan.skip_cur_user() == 3
+
+    def test_block_iteration_ends_with_none(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        rows = []
+        row = chunk_scan.get_next()
+        while row is not None:
+            rows.append(row)
+            row = chunk_scan.get_next()
+        assert len(rows) == 5
+
+    def test_rewind(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        first = chunk_scan.get_next()["time"]
+        chunk_scan.get_next()
+        chunk_scan.rewind_current_user()
+        assert chunk_scan.get_next()["time"] == first
+
+
+class TestLazyRow:
+    def test_values_decoded_on_demand(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        row = chunk_scan.get_next()
+        assert row["player"] == "001"
+        assert row["action"] == "launch"
+        assert row["country"] == "Australia"
+        assert row["time"] == parse_timestamp("2013/05/19:1000")
+        assert row["gold"] == 0
+
+    def test_mapping_protocol(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        row = chunk_scan.get_next()
+        assert len(row) == 6
+        assert set(iter(row)) == {"player", "time", "action", "role",
+                                  "country", "gold"}
+        assert dict(row)["role"] == "dwarf"
+
+    def test_peek_does_not_consume(self, scan):
+        chunk_scan, _ = scan
+        chunk_scan.get_next_user()
+        peeked = [r["action"] for r in chunk_scan.peek_block_rows()]
+        assert peeked == ["launch", "shop", "shop", "shop", "fight"]
+        # cursor unchanged
+        assert chunk_scan.get_next()["action"] == "launch"
+
+    def test_action_gid_matches_dictionary(self, scan):
+        chunk_scan, compressed = scan
+        chunk_scan.get_next_user()
+        row = chunk_scan.get_next()
+        gid = chunk_scan.action_gid_at(row.position)
+        assert compressed.value_of("action", gid) == "launch"

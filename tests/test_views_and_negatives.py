@@ -1,0 +1,103 @@
+"""Tests for non-materialized views and negative-number literals."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.cohana import parse_cohort_query
+from repro.relational import Database
+from repro.sqlparser import parse_sql
+
+from conftest import make_table1
+
+
+@pytest.fixture(params=["rows", "columnar"])
+def db(request):
+    database = Database(executor=request.param)
+    database.register_activity_table("D", make_table1())
+    return database
+
+
+class TestViews:
+    def test_view_queryable(self, db):
+        db.create_view("shops", "SELECT * FROM D WHERE action = 'shop'")
+        out = db.execute("SELECT Count(*) AS n FROM shops")
+        assert out.rows == [(5,)]
+
+    def test_view_composes_with_where(self, db):
+        db.create_view("shops", "SELECT player, gold FROM D "
+                                "WHERE action = 'shop'")
+        out = db.execute("SELECT player FROM shops WHERE gold >= 50")
+        assert len(out) == 3
+
+    def test_view_over_view(self, db):
+        db.create_view("shops", "SELECT * FROM D WHERE action = 'shop'")
+        db.create_view("big", "SELECT * FROM shops WHERE gold >= 50")
+        out = db.execute("SELECT Count(*) AS n FROM big")
+        assert out.rows == [(3,)]
+
+    def test_view_join_with_base_table(self, db):
+        db.create_view("launches",
+                       "SELECT player AS p, time AS bt FROM D "
+                       "WHERE action = 'launch'")
+        out = db.execute(
+            "SELECT D.player FROM D, launches "
+            "WHERE D.player = launches.p AND D.time = launches.bt")
+        assert len(out) == 3
+
+    def test_view_name_conflicts(self, db):
+        with pytest.raises(CatalogError):
+            db.create_view("D", "SELECT * FROM D")
+        db.create_view("v", "SELECT * FROM D")
+        with pytest.raises(CatalogError):
+            db.create_view("v", "SELECT * FROM D")
+
+    def test_cte_shadows_view(self, db):
+        db.create_view("v", "SELECT player FROM D")
+        out = db.execute("WITH v AS (SELECT gold FROM D) "
+                         "SELECT Count(*) AS n FROM v")
+        assert out.rows == [(10,)]
+
+    def test_view_not_materialized(self, db):
+        """A view reflects later-registered data paths (it re-plans),
+        unlike create_table_as which freezes rows."""
+        db.create_table_as("frozen", "SELECT * FROM D "
+                                     "WHERE action = 'shop'")
+        assert len(db.table("frozen")) == 5
+
+
+class TestNegativeLiterals:
+    def test_sql_unary_minus(self, db):
+        out = db.execute("SELECT player FROM D WHERE gold > -1")
+        assert len(out) == 10
+
+    def test_sql_negative_arithmetic(self, db):
+        out = db.execute("SELECT gold - 60 AS v FROM D "
+                         "WHERE action = 'shop' AND gold = 50 LIMIT 1")
+        assert out.rows == [(-10,)]
+
+    def test_sql_negative_in_expression_context(self):
+        query = parse_sql("SELECT a FROM t WHERE a = -(5)")
+        assert query is not None
+
+    def test_cohort_negative_literal(self):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" AND gold > -5 '
+            'COHORT BY country')
+        compare = parsed.birth_clause.parts[1]
+        assert compare.right.raw == -5
+
+    def test_cohort_negative_float(self):
+        parsed = parse_cohort_query(
+            'SELECT country, Sum(gold) FROM D '
+            'BIRTH FROM action = "launch" AND gold > -5.5 '
+            'COHORT BY country')
+        assert parsed.birth_clause.parts[1].right.raw == -5.5
+
+    def test_cohort_minus_without_number_rejected(self):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            parse_cohort_query(
+                'SELECT country, Sum(gold) FROM D '
+                'BIRTH FROM action = "launch" AND gold > - x '
+                'COHORT BY country')
