@@ -1,0 +1,57 @@
+"""Parallel scan scaling: speedup vs worker count at scales 1/2/4.
+
+Measures the chunk pipeline's ``threads`` backend: the same plan run
+with 1, 2 and 4 scan workers over the scale-1/2/4 datasets. Honest
+expectations under CPython: the iterator kernel is GIL-bound, and the
+vectorized kernel only overlaps inside numpy's GIL-releasing sections,
+so speedups at these (small) scales are modest — the point is measuring
+them, and exercising the scheduler path every parallel backend shares.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_parallel_scaling.py`` — pytest-benchmark
+  timings, one benchmark per (scale, jobs);
+* ``PYTHONPATH=src python benchmarks/bench_parallel_scaling.py`` — the
+  figure-style report plus per-worker-count speedups on stdout.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine
+from repro.bench.experiments import TABLE
+from repro.workloads import MAIN_QUERIES
+
+SCALES = (1, 2, 4)
+JOBS = (1, 2, 4)
+CHUNK_ROWS = 1024
+QUERY = "Q1"
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+@pytest.mark.parametrize("scale", SCALES)
+def test_parallel_scaling(benchmark, scale, jobs):
+    engine = cohana_engine(scale, CHUNK_ROWS)
+    text = MAIN_QUERIES[QUERY](TABLE)
+    benchmark.extra_info.update(figure="parallel", query=QUERY,
+                                scale=scale, jobs=jobs,
+                                chunk_rows=CHUNK_ROWS)
+    result = benchmark(engine.query, text, jobs=jobs, backend="threads")
+    assert len(result.rows) > 0
+
+
+def main() -> int:
+    from repro.bench import parallel_scaling, parallel_scaling_records
+
+    report = parallel_scaling(scales=SCALES, jobs_counts=JOBS,
+                              chunk_rows=CHUNK_ROWS)
+    print(report.to_text())
+    print()
+    print("speedup vs jobs=1:")
+    for record in parallel_scaling_records(report):
+        print(f"  {record['series']:<14} jobs={record['jobs']}  "
+              f"{record['seconds']:.4f}s  x{record['speedup']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

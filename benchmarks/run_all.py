@@ -2,20 +2,98 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # everything
-    python benchmarks/run_all.py fig11 fig08  # selected experiments
+    python benchmarks/run_all.py                    # everything
+    python benchmarks/run_all.py fig11 fig08        # selected experiments
+    python benchmarks/run_all.py parallel --jobs 8  # parallel scaling only
 
 The reports print the same rows/series the paper plots; EXPERIMENTS.md
 records paper-vs-measured shape for each. Absolute numbers differ from
 the paper (pure Python + synthetic data at ~1/1000 size); orderings,
 slopes and crossovers are the reproduction target.
+
+The ``parallel`` experiment sweeps the chunk pipeline's worker count and
+additionally records its timings (with speedups, the seed, and the jobs
+sweep) in ``BENCH_parallel.json`` so the numbers are reproducible:
+``--seed`` pins the dataset generator, ``--jobs`` sets the largest
+worker count measured.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+from pathlib import Path
 
-from repro.bench.report_runner import run_and_print
+from repro.bench import (
+    parallel_scaling,
+    parallel_scaling_records,
+    set_default_seed,
+)
+from repro.bench.report_runner import resolve_experiments, run_and_print
+
+
+def jobs_sweep(max_jobs: int) -> tuple[int, ...]:
+    """Worker counts to measure: doubling from 1 up to ``max_jobs``."""
+    counts = [1]
+    while counts[-1] * 2 <= max_jobs:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != max_jobs:
+        counts.append(max_jobs)
+    return tuple(counts)
+
+
+def run_parallel(max_jobs: int, seed: int, out: Path) -> None:
+    """Run the parallel-scaling sweep and record BENCH_parallel.json."""
+    sweep = jobs_sweep(max_jobs)
+    report = parallel_scaling(jobs_counts=sweep)
+    print()
+    print(report.to_text())
+    payload = {
+        "experiment": "parallel_scaling",
+        "seed": seed,
+        "jobs": list(sweep),
+        "records": parallel_scaling_records(report),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[parallel results written to {out}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the paper's figure experiments")
+    parser.add_argument("names", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="largest worker count in the parallel "
+                             "scaling sweep (default 4)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="dataset generator seed (default 7)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_parallel.json",
+                        help="where the parallel experiment records its "
+                             "timings")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    set_default_seed(args.seed)
+
+    selected, unknown = resolve_experiments(args.names)
+    if unknown:
+        from repro.bench.experiments import EXPERIMENTS
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(EXPERIMENTS)}")
+        return 2
+    figures = [n for n in selected if n != "parallel"]
+    if figures:
+        code = run_and_print(figures)
+        if code:
+            return code
+    if "parallel" in selected:
+        run_parallel(args.jobs, args.seed, args.out)
+    return 0
+
 
 if __name__ == "__main__":
-    raise SystemExit(run_and_print(sys.argv[1:]))
+    raise SystemExit(main(sys.argv[1:]))

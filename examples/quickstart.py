@@ -65,3 +65,14 @@ print(result.to_text())
 print()
 print("Cohort report (pivoted):")
 print(result.pivot("spent").to_text())
+
+# -- 4. parallel execution ----------------------------------------------------
+#
+# Execution is a chunk pipeline (parser → binder → planner → scheduler →
+# kernels → merge; see ARCHITECTURE.md). ExecutionConfig picks the scan
+# backend: `jobs=4` runs chunk scans on 4 threads, and chunk independence
+# (no user spans two chunks) guarantees identical results.
+
+parallel = engine.query(QUERY, jobs=4)          # backend="threads" implied
+assert parallel.rows == result.rows
+print("\nSame rows with jobs=4 over the chunk pipeline: OK")

@@ -1,6 +1,13 @@
 """Benchmark harness: datasets, timing, reports, figure experiments."""
 
-from repro.bench.harness import Report, Series, dataset, time_call
+from repro.bench.harness import (
+    Report,
+    Series,
+    dataset,
+    set_default_seed,
+    time_call,
+    time_query,
+)
 from repro.bench.experiments import (
     EXPERIMENTS,
     ablations,
@@ -11,6 +18,8 @@ from repro.bench.experiments import (
     fig09_age_selection,
     fig10_mv_generation,
     fig11_comparison,
+    parallel_scaling,
+    parallel_scaling_records,
     prepared_system,
 )
 
@@ -27,6 +36,10 @@ __all__ = [
     "fig09_age_selection",
     "fig10_mv_generation",
     "fig11_comparison",
+    "parallel_scaling",
+    "parallel_scaling_records",
     "prepared_system",
+    "set_default_seed",
     "time_call",
+    "time_query",
 ]

@@ -15,7 +15,8 @@ comparable.
 from __future__ import annotations
 
 from repro.baselines import prepare_system
-from repro.bench.harness import Report, dataset, time_call
+from repro.bench import harness
+from repro.bench.harness import Report, dataset, time_call, time_query
 from repro.cohana import CohanaEngine
 from repro.cohort import NEVER_BORN, birth_times
 from repro.datagen import BIRTH_ACTIONS, GameConfig
@@ -33,8 +34,9 @@ _SYSTEMS: dict[tuple, object] = {}
 
 
 def cohana_engine(scale: int, chunk_rows: int) -> CohanaEngine:
-    """A COHANA engine with the scale-``scale`` dataset loaded (cached)."""
-    key = (scale, chunk_rows)
+    """A COHANA engine with the scale-``scale`` dataset loaded (cached;
+    keyed by the effective seed so ``set_default_seed`` is honoured)."""
+    key = (scale, chunk_rows, harness.DEFAULT_SEED)
     if key not in _ENGINES:
         engine = CohanaEngine()
         engine.create_table(TABLE, dataset(scale),
@@ -44,8 +46,8 @@ def cohana_engine(scale: int, chunk_rows: int) -> CohanaEngine:
 
 
 def prepared_system(label: str, scale: int, chunk_rows: int = 4096):
-    """A ready-to-query evaluation system (cached per scale)."""
-    key = (label, scale, chunk_rows)
+    """A ready-to-query evaluation system (cached per scale + seed)."""
+    key = (label, scale, chunk_rows, harness.DEFAULT_SEED)
     if key not in _SYSTEMS:
         _SYSTEMS[key] = prepare_system(
             label, dataset(scale), birth_actions=BIRTH_ACTIONS,
@@ -239,6 +241,59 @@ def fig11_comparison(scales=DEFAULT_SCALES, systems=FIG11_SYSTEMS,
 
 
 # ---------------------------------------------------------------------------
+# Parallel scan scaling (ours): the chunk pipeline's threads backend
+# ---------------------------------------------------------------------------
+
+PARALLEL_SCALES = (1, 2, 4)
+PARALLEL_JOBS = (1, 2, 4)
+
+
+def parallel_scaling(scales=PARALLEL_SCALES, jobs_counts=PARALLEL_JOBS,
+                     chunk_rows: int = 1024,
+                     query_names=("Q1", "Q4"),
+                     executor: str = "vectorized",
+                     repeat: int = 3) -> Report:
+    """Query time vs scan-worker count: one series per (query, scale).
+
+    Exercises the chunk pipeline's ``threads`` backend. Under CPython the
+    iterator kernel is GIL-bound and the vectorized kernel only overlaps
+    inside numpy's GIL-releasing sections, so speedups are modest at
+    these scales — the measured numbers (not assumed ones) are the point,
+    and the same scheduler drives any future process/async backend.
+    """
+    report = Report(title="Parallel scan scaling (chunk pipeline, "
+                          f"{executor} kernel)",
+                    x_label="jobs", y_label="seconds")
+    for qname in query_names:
+        text = _main_query(qname)
+        for scale in scales:
+            engine = cohana_engine(scale, chunk_rows)
+            series = report.series_named(f"{qname} scale={scale}")
+            for jobs in jobs_counts:
+                series.add(jobs, time_query(engine, text, repeat=repeat,
+                                            executor=executor, jobs=jobs,
+                                            backend="threads"))
+    return report
+
+
+def parallel_scaling_records(report: Report) -> list[dict]:
+    """Flatten a :func:`parallel_scaling` report into JSON-able records
+    with per-worker-count speedup relative to jobs=1."""
+    records = []
+    for series in report.series:
+        base = next((sec for jobs, sec in series.points if jobs == 1),
+                    None)
+        for jobs, seconds in series.points:
+            records.append({
+                "series": series.label,
+                "jobs": jobs,
+                "seconds": seconds,
+                "speedup": round(base / seconds, 3) if base else None,
+            })
+    return records
+
+
+# ---------------------------------------------------------------------------
 # Ablations (ours): executor / push-down / pruning
 # ---------------------------------------------------------------------------
 
@@ -274,4 +329,5 @@ EXPERIMENTS = {
     "fig10": fig10_mv_generation,
     "fig11": fig11_comparison,
     "ablations": ablations,
+    "parallel": parallel_scaling,
 }

@@ -16,10 +16,22 @@ from repro.table import ActivityTable
 
 _DATASETS: dict[tuple, ActivityTable] = {}
 
+#: Generator seed used when ``dataset()`` is called without one;
+#: ``run_all.py --seed`` overrides it so timings are reproducible.
+DEFAULT_SEED = 7
+
+
+def set_default_seed(seed: int) -> None:
+    """Set the process-wide default dataset seed."""
+    global DEFAULT_SEED
+    DEFAULT_SEED = seed
+
 
 def dataset(scale: int = 1, n_users: int = 57,
-            seed: int = 7) -> ActivityTable:
+            seed: int | None = None) -> ActivityTable:
     """The benchmark dataset at ``scale`` (cached per process)."""
+    if seed is None:
+        seed = DEFAULT_SEED
     base_key = (1, n_users, seed)
     if base_key not in _DATASETS:
         _DATASETS[base_key] = generate(GameConfig(n_users=n_users,
@@ -40,6 +52,13 @@ def time_call(fn, repeat: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def time_query(engine, text: str, repeat: int = 3, **exec_kw) -> float:
+    """Time one engine query; ``exec_kw`` (``jobs=``, ``backend=``,
+    ``executor=``, ...) goes straight to ``engine.query`` so experiments
+    can sweep the execution pipeline's configuration."""
+    return time_call(lambda: engine.query(text, **exec_kw), repeat=repeat)
 
 
 @dataclass

@@ -7,13 +7,20 @@ import time
 from repro.bench.experiments import EXPERIMENTS
 
 
+def resolve_experiments(names: list[str] | None,
+                        ) -> tuple[list[str], list[str]]:
+    """(selected, unknown) experiment names; empty input selects all."""
+    selected = names or list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    return selected, unknown
+
+
 def run_and_print(names: list[str] | None = None) -> int:
     """Run the named experiments (all by default) and print reports.
 
     Returns a process exit code (2 on unknown names).
     """
-    selected = names or list(EXPERIMENTS)
-    unknown = [n for n in selected if n not in EXPERIMENTS]
+    selected, unknown = resolve_experiments(names)
     if unknown:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")

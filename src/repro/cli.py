@@ -55,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "table this file is registered as)")
     p.add_argument("--executor", default="vectorized",
                    choices=("vectorized", "iterator"))
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel scan workers (default 1)")
+    p.add_argument("--backend", default=None,
+                   choices=("serial", "threads"),
+                   help="scan backend (default: threads when --jobs > 1)")
     p.add_argument("--age-unit", default="day")
     p.add_argument("--origin", default=None,
                    help="time-bin origin date for COHORT BY time")
@@ -117,7 +122,8 @@ def _dispatch(args) -> int:
         if args.explain:
             print(engine.explain(query))
             return 0
-        result = engine.query(query, executor=args.executor)
+        result = engine.query(query, executor=args.executor,
+                              jobs=args.jobs, backend=args.backend)
         print(result.to_text())
         if args.pivot:
             print()

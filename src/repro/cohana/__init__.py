@@ -3,6 +3,16 @@
 from repro.cohana.binder import bind_cohort_query
 from repro.cohana.engine import EXECUTORS, CohanaEngine
 from repro.cohana.parser import ParsedCohortQuery, parse_cohort_query
+from repro.cohana.pipeline import (
+    BACKENDS,
+    KERNELS,
+    ChunkKernel,
+    ChunkPartial,
+    ChunkScheduler,
+    ExecStats,
+    ExecutionConfig,
+    register_kernel,
+)
 from repro.cohana.render import render_condition, render_query
 from repro.cohana.planner import (
     CohortPlan,
@@ -11,20 +21,26 @@ from repro.cohana.planner import (
     required_columns,
 )
 from repro.cohana.tablescan import ChunkScan, LazyRow
-from repro.cohana.vectorized import ExecStats
 
 __all__ = [
+    "BACKENDS",
+    "ChunkKernel",
+    "ChunkPartial",
     "ChunkScan",
+    "ChunkScheduler",
     "CohanaEngine",
     "CohortPlan",
     "EXECUTORS",
     "ExecStats",
+    "ExecutionConfig",
+    "KERNELS",
     "LazyRow",
     "ParsedCohortQuery",
     "bind_cohort_query",
     "extract_time_bounds",
     "parse_cohort_query",
     "plan_query",
+    "register_kernel",
     "render_condition",
     "render_query",
     "required_columns",

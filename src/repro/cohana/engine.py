@@ -13,18 +13,39 @@ Typical use::
         COHORT BY country
     ''')
     print(result.to_text())
+
+Execution goes through the chunk pipeline
+(:mod:`repro.cohana.pipeline`): the plan becomes per-chunk scan tasks run
+by the selected kernel (``executor='vectorized'`` or ``'iterator'``)
+under an :class:`~repro.cohana.pipeline.ExecutionConfig`. The config can
+be given explicitly, or via the loose ``jobs`` / ``backend`` options::
+
+    result = engine.query(text, jobs=4)              # threads backend
+    result = engine.query(text, jobs=4, backend="threads")
+    result, stats = engine.query_with_stats(
+        text, config=ExecutionConfig(backend="threads", jobs=2))
+
+``ExecutionConfig(backend, jobs, collect_stats)`` selects the scan
+backend (``'serial'`` or ``'threads'``), the worker count, and whether
+per-row/user counters are accumulated into ``ExecStats``. Chunk
+independence (no user spans two chunks) makes the parallel merge exact.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, ExecutionError
 from repro.cohana.binder import bind_cohort_query
 from repro.cohana.parser import parse_cohort_query
+from repro.cohana.pipeline import (
+    ChunkScheduler,
+    ExecStats,
+    ExecutionConfig,
+    get_kernel,
+)
 from repro.cohana.planner import CohortPlan, plan_query
 from repro.cohana import iterator_executor, vectorized
-from repro.cohana.vectorized import ExecStats
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
 from repro.storage import compress, load, save
@@ -32,8 +53,9 @@ from repro.storage.reader import CompressedActivityTable
 from repro.storage.writer import DEFAULT_CHUNK_ROWS
 from repro.table import ActivityTable
 
-#: Executor registry: 'vectorized' is the default engine; 'iterator' is
-#: the faithful Algorithms 1-2 implementation (ablation / fidelity).
+#: Compatibility alias: named serial entry points per kernel family. The
+#: real execution path is the chunk pipeline; importing the executor
+#: modules above also registers their kernels with the pipeline registry.
 EXECUTORS = {
     "vectorized": vectorized.execute_plan,
     "iterator": iterator_executor.execute_plan,
@@ -50,18 +72,23 @@ class CohanaEngine:
 
     def create_table(self, name: str, table: ActivityTable,
                      target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                     replace: bool = False,
                      ) -> CompressedActivityTable:
-        """Compress ``table`` and register it under ``name``."""
-        if name in self._catalog:
+        """Compress ``table`` and register it under ``name``.
+
+        With ``replace=True`` an existing registration is overwritten
+        instead of raising :class:`~repro.errors.CatalogError`.
+        """
+        if name in self._catalog and not replace:
             raise CatalogError(f"table {name!r} already exists")
         compressed = compress(table, target_chunk_rows=target_chunk_rows)
         self._catalog[name] = compressed
         return compressed
 
-    def register(self, name: str,
-                 compressed: CompressedActivityTable) -> None:
-        """Register an already-compressed table."""
-        if name in self._catalog:
+    def register(self, name: str, compressed: CompressedActivityTable,
+                 replace: bool = False) -> None:
+        """Register an already-compressed table (``replace`` as above)."""
+        if name in self._catalog and not replace:
             raise CatalogError(f"table {name!r} already exists")
         self._catalog[name] = compressed
 
@@ -117,19 +144,30 @@ class CohanaEngine:
     def query_with_stats(self, query: CohortQuery | str,
                          executor: str = "vectorized",
                          pushdown: bool = True, prune: bool = True,
+                         jobs: int = 1, backend: str | None = None,
+                         collect_stats: bool = True,
+                         config: ExecutionConfig | None = None,
                          **parse_kw) -> tuple[CohortResult, ExecStats]:
-        """Execute and also return execution statistics."""
+        """Execute and also return execution statistics.
+
+        ``executor`` picks the per-chunk kernel family; ``jobs`` /
+        ``backend`` (or a full ``config``) pick how the scheduler runs
+        the chunk scans.
+        """
         if isinstance(query, str):
             query = self.parse(query, **parse_kw)
-        try:
-            run = EXECUTORS[executor]
-        except KeyError:
-            raise CatalogError(
-                f"unknown executor {executor!r}; "
-                f"have {sorted(EXECUTORS)}") from None
+        kernel = get_kernel(executor)
+        if config is None:
+            config = ExecutionConfig.resolve(jobs=jobs, backend=backend,
+                                             collect_stats=collect_stats)
+        elif jobs != 1 or backend is not None or not collect_stats:
+            raise ExecutionError(
+                "pass either config= or the loose jobs=/backend=/"
+                "collect_stats= options, not both")
         plan = plan_query(query, self.table(query.table),
                           pushdown=pushdown, prune=prune)
-        return run(self.table(query.table), plan)
+        return ChunkScheduler(self.table(query.table), plan, kernel,
+                              config).run()
 
     def query(self, query: CohortQuery | str,
               executor: str = "vectorized", **kw) -> CohortResult:

@@ -1,15 +1,21 @@
-"""The faithful tuple-at-a-time executor (Algorithms 1 and 2).
+"""The faithful tuple-at-a-time per-chunk kernel (Algorithms 1 and 2).
 
-This executor follows the paper's pseudocode as closely as Python allows:
+This kernel follows the paper's pseudocode as closely as Python allows:
 user-block processing through the modified TableScan, ``GetBirthTuple``
 scanning each block for the first birth-action tuple, ``SkipCurUser`` on
 unqualified users, and array-based hash aggregation.
 
-It produces bit-identical results to the vectorized executor and the
+It produces bit-identical results to the vectorized kernel and the
 oracle, but runs one tuple at a time — the benchmark suite uses the gap
-between the two executors as an ablation showing why the paper's scan
+between the two kernels as an ablation showing why the paper's scan
 throughput needs compiled/vectorized loops (Python-level iteration is the
 "interpreted overhead" case).
+
+Like every kernel, it only sees one chunk at a time: chunk iteration,
+pruning and the cross-chunk merge live in :mod:`repro.cohana.pipeline`.
+At the end of a chunk scan, the array-based accumulators are drained into
+the pipeline's canonical partial-state protocol (USERCOUNT drains to a
+plain count — exact because no user spans two chunks, Section 4.5).
 """
 
 from __future__ import annotations
@@ -19,50 +25,57 @@ from repro.cohana.aggregate import (
     CohortCodec,
     CohortSizeTable,
 )
+from repro.cohana.pipeline import (
+    ChunkKernel,
+    ChunkPartial,
+    ExecStats,
+    ExecutionConfig,
+    execute,
+    register_kernel,
+)
 from repro.cohana.planner import CohortPlan
 from repro.cohana.tablescan import ChunkScan, LazyRow
-from repro.cohana.vectorized import ExecStats, _prunable
 from repro.cohort.concepts import normalize_age
 from repro.cohort.operators import cohort_label
 from repro.cohort.result import CohortResult
+from repro.storage.chunk import Chunk
 from repro.storage.reader import CompressedActivityTable
 
 
-def execute_plan(table: CompressedActivityTable,
-                 plan: CohortPlan) -> tuple[CohortResult, ExecStats]:
-    """Run ``plan`` tuple-at-a-time over every (non-pruned) chunk."""
+def scan_chunk(table: CompressedActivityTable, chunk: Chunk,
+               plan: CohortPlan) -> ChunkPartial:
+    """The pure per-chunk kernel: one chunk in, one ChunkPartial out."""
     query = plan.query
-    stats = ExecStats(chunks_total=table.n_chunks)
+    partial = ChunkPartial(n_aggregates=len(query.aggregates))
+    partial.rows_scanned += chunk.n_rows
     codec = CohortCodec()
     sizes = CohortSizeTable()
-    totals = ArrayAggregateTable(query.aggregates)
-    if plan.birth_action_gid is not None:
-        for chunk in table.chunks:
-            if plan.prune and _prunable(table, chunk, plan):
-                stats.chunks_pruned += 1
-                continue
-            stats.chunks_scanned += 1
-            stats.rows_scanned += chunk.n_rows
-            partial = ArrayAggregateTable(query.aggregates)
-            _scan_chunk(table, chunk, plan, codec, sizes, partial, stats)
-            totals.merge(partial)
+    aggregates = ArrayAggregateTable(query.aggregates)
+    _scan_chunk(table, chunk, plan, codec, sizes, aggregates, partial)
 
-    rows = []
-    order = sorted(
-        ((code, age, cell) for code, age, cell in totals.buckets()),
-        key=lambda item: (tuple(str(v) for v in codec.label(item[0])),
-                          item[1]))
-    for code, age, cell in order:
-        rows.append((*codec.label(code), sizes.count(code), age,
-                     *(acc.result() for acc in cell)))
-    return (CohortResult(columns=query.output_columns, rows=rows,
-                         n_cohort_columns=len(query.cohort_by)),
-            stats)
+    for code, label in enumerate(codec.labels()):
+        count = sizes.count(code)
+        if count:
+            partial.add_cohort_size(label, count)
+    for code, age, cell in aggregates.buckets():
+        key = (codec.label(code), age)
+        for agg_index, (agg, acc) in enumerate(zip(query.aggregates,
+                                                   cell)):
+            partial.add_partial(key, agg_index, agg.func,
+                                _drain_accumulator(agg.func, acc))
+    return partial
+
+
+def _drain_accumulator(func: str, acc):
+    """An accumulator's state in the pipeline's canonical partial form."""
+    if func == "AVG":
+        return (acc.total, acc.count)
+    return acc.result()
 
 
 def _scan_chunk(table, chunk, plan: CohortPlan, codec: CohortCodec,
                 sizes: CohortSizeTable, aggregates: ArrayAggregateTable,
-                stats: ExecStats) -> None:
+                partial: ChunkPartial) -> None:
     """Algorithm 2's Open() loop, fused with Algorithm 1's skipping."""
     query = plan.query
     scan = ChunkScan(table, chunk)
@@ -70,7 +83,7 @@ def _scan_chunk(table, chunk, plan: CohortPlan, codec: CohortCodec,
     time_name = schema.time.name
     while scan.has_more_users():
         gid, first, count = scan.get_next_user()
-        stats.users_seen += 1
+        partial.users_seen += 1
         birth_row = _get_birth_tuple(scan, plan.birth_action_gid)
         if birth_row is None:
             scan.skip_cur_user()
@@ -89,7 +102,7 @@ def _scan_chunk(table, chunk, plan: CohortPlan, codec: CohortCodec,
                 pass
             scan.skip_cur_user()
             continue
-        stats.users_qualified += 1
+        partial.users_qualified += 1
         label = cohort_label(birth_row, query, schema)
         code = codec.code(label)
         sizes.increment(code)
@@ -102,7 +115,7 @@ def _scan_chunk(table, chunk, plan: CohortPlan, codec: CohortCodec,
                 age = normalize_age(raw, query.age_unit)
                 if query.age_condition.evaluate_row(row, birth_row, age):
                     aggregates.update(code, age, row, gid)
-                    stats.tuples_aggregated += 1
+                    partial.tuples_aggregated += 1
             row = scan.get_next()
 
 
@@ -116,3 +129,14 @@ def _get_birth_tuple(scan: ChunkScan, birth_gid: int) -> LazyRow | None:
         if scan.action_gid_at(row.position) == birth_gid:
             return row
     return None
+
+
+KERNEL = register_kernel(ChunkKernel(name="iterator", scan=scan_chunk,
+                                     decoded_labels=True))
+
+
+def execute_plan(table: CompressedActivityTable,
+                 plan: CohortPlan) -> tuple[CohortResult, ExecStats]:
+    """Serial execution of ``plan`` (compatibility entry point; the
+    pipeline's :func:`~repro.cohana.pipeline.execute` is the real API)."""
+    return execute(table, plan, kernel=KERNEL, config=ExecutionConfig())

@@ -1,0 +1,356 @@
+"""The chunk-pipeline execution core: scheduling, kernels, merging.
+
+COHANA's storage invariant — all tuples of a user live in exactly one
+chunk (Section 4.1) — makes chunks *independent* units of work: per-chunk
+partial aggregates merge exactly, including distinct-user counts
+(Section 4.5). This module exploits that invariant once, centrally,
+instead of each executor hand-rolling its own chunk loop:
+
+* :class:`ChunkScheduler` turns a :class:`~repro.cohana.planner.CohortPlan`
+  into per-chunk scan tasks, makes every pruning decision exactly once,
+  dispatches the tasks through a pluggable backend, and streams the
+  resulting :class:`ChunkPartial`\\ s through the merge protocol;
+* :class:`ChunkKernel` is the pluggable per-chunk scan: a pure function
+  ``(table, chunk, plan) -> ChunkPartial``. The ``vectorized`` and
+  ``iterator`` executors register themselves here and contain *only*
+  per-chunk logic;
+* :class:`ExecutionConfig` selects the backend (``serial`` or ``threads``
+  via :mod:`concurrent.futures`) and the worker count.
+
+Because kernels are pure (they share no mutable state and only read the
+immutable compressed table), running them concurrently over chunks is
+safe; the merge itself stays single-threaded in the scheduler, so no
+locking is needed anywhere.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CatalogError, ExecutionError
+from repro.cohana.planner import CohortPlan
+from repro.cohort.query import CohortQuery
+from repro.cohort.result import CohortResult
+from repro.schema import ColumnRole, LogicalType, format_timestamp
+from repro.storage.chunk import Chunk
+from repro.storage.reader import CompressedActivityTable
+
+#: Backends the scheduler can dispatch scan tasks through.
+BACKENDS = ("serial", "threads")
+
+
+@dataclass
+class ExecStats:
+    """Counters describing what one execution actually touched."""
+
+    chunks_total: int = 0
+    chunks_scanned: int = 0
+    chunks_pruned: int = 0
+    rows_scanned: int = 0
+    users_seen: int = 0
+    users_qualified: int = 0
+    tuples_aggregated: int = 0
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the scheduler runs a plan's scan tasks.
+
+    Attributes:
+        backend: ``'serial'`` (in-process loop) or ``'threads'``
+            (:class:`concurrent.futures.ThreadPoolExecutor`).
+        jobs: worker count for parallel backends (ignored by ``serial``).
+        collect_stats: accumulate the per-chunk row/user counters into
+            :class:`ExecStats`; chunk-level counters are always kept.
+    """
+
+    backend: str = "serial"
+    jobs: int = 1
+    collect_stats: bool = True
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown backend {self.backend!r}; have {BACKENDS}")
+        if self.jobs < 1:
+            raise ExecutionError(f"jobs must be >= 1, got {self.jobs}")
+
+    @classmethod
+    def resolve(cls, jobs: int = 1, backend: str | None = None,
+                collect_stats: bool = True) -> "ExecutionConfig":
+        """Build a config from loose options: ``backend=None`` picks
+        ``threads`` when ``jobs > 1`` and ``serial`` otherwise."""
+        if backend is None:
+            backend = "threads" if jobs > 1 else "serial"
+        return cls(backend=backend, jobs=jobs, collect_stats=collect_stats)
+
+
+@dataclass
+class ChunkPartial:
+    """One chunk's contribution: partial aggregates plus scan counters.
+
+    ``buckets`` maps ``(label, age)`` to one partial state per aggregate
+    in the query's SELECT list; ``cohort_sizes`` maps labels to qualified
+    user counts. Partial states follow the protocol of
+    :func:`merge_partial` / :func:`finalize_partial` regardless of which
+    kernel produced them, so the scheduler can merge partials from any
+    kernel family the same way.
+    """
+
+    n_aggregates: int
+    cohort_sizes: dict = field(default_factory=dict)
+    buckets: dict = field(default_factory=dict)
+    rows_scanned: int = 0
+    users_seen: int = 0
+    users_qualified: int = 0
+    tuples_aggregated: int = 0
+
+    def add_cohort_size(self, label: tuple, count: int) -> None:
+        self.cohort_sizes[label] = self.cohort_sizes.get(label, 0) + count
+
+    def add_partial(self, key: tuple, agg_index: int, func: str,
+                    partial) -> None:
+        slots = self.buckets.setdefault(key, [None] * self.n_aggregates)
+        slots[agg_index] = merge_partial(func, slots[agg_index], partial)
+
+
+def merge_partial(func: str, state, partial):
+    """Fold one partial aggregate state into another (both canonical)."""
+    if state is None:
+        return partial
+    if func in ("SUM", "COUNT", "USERCOUNT"):
+        return state + partial
+    if func == "AVG":
+        return (state[0] + partial[0], state[1] + partial[1])
+    if func == "MIN":
+        return min(state, partial)
+    if func == "MAX":
+        return max(state, partial)
+    raise ExecutionError(f"unknown aggregate {func!r}")
+
+
+def finalize_partial(func: str, state):
+    """Turn a fully merged partial state into the output value."""
+    if state is None:
+        return None
+    if func == "AVG":
+        total, count = state
+        return total / count if count else None
+    return state
+
+
+@dataclass(frozen=True)
+class ChunkKernel:
+    """A per-chunk scan implementation.
+
+    Attributes:
+        name: registry key (``'vectorized'``, ``'iterator'``, ...).
+        scan: pure function ``(table, chunk, plan) -> ChunkPartial``.
+        decoded_labels: True when the kernel emits already-decoded cohort
+            labels (strings / formatted timestamps); False when labels
+            stay in global-dictionary id space until row building.
+    """
+
+    name: str
+    scan: Callable[[CompressedActivityTable, Chunk, CohortPlan],
+                   ChunkPartial]
+    decoded_labels: bool = False
+
+
+#: Kernel registry: executors register themselves at import time.
+KERNELS: dict[str, ChunkKernel] = {}
+
+
+def register_kernel(kernel: ChunkKernel) -> ChunkKernel:
+    """Add ``kernel`` to the registry (last registration wins)."""
+    KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> ChunkKernel:
+    """Look up a registered kernel; unknown names raise CatalogError
+    (the same contract the engine's executor option always had)."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise CatalogError(f"unknown executor {name!r}; "
+                           f"have {sorted(KERNELS)}") from None
+
+
+# ---------------------------------------------------------------------------
+# Chunk pruning (decided once, in the scheduler)
+# ---------------------------------------------------------------------------
+
+
+def chunk_prunable(table: CompressedActivityTable, chunk: Chunk,
+                   plan: CohortPlan) -> bool:
+    """Section 4.1 pruning: action chunk-dictionary miss, or birth-time
+    range disjoint from the chunk's time MIN/MAX."""
+    if not table.chunk_may_contain_action(chunk, plan.birth_action_gid):
+        return True
+    if plan.time_low is not None or plan.time_high is not None:
+        time_name = table.schema.time.name
+        if not table.chunk_overlaps_range(chunk, time_name, plan.time_low,
+                                          plan.time_high):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Streaming merge
+# ---------------------------------------------------------------------------
+
+
+class MergeState:
+    """Accumulates ChunkPartials into table-wide totals, streaming."""
+
+    def __init__(self, query: CohortQuery):
+        self.query = query
+        self.cohort_sizes: dict[tuple, int] = {}
+        self.buckets: dict[tuple, list] = {}
+
+    def absorb(self, partial: ChunkPartial, stats: ExecStats,
+               collect_stats: bool = True) -> None:
+        """Merge one chunk's partial in (order-independent: every merge
+        operator is commutative and associative, so threaded completion
+        order does not change the result)."""
+        for label, count in partial.cohort_sizes.items():
+            self.cohort_sizes[label] = (self.cohort_sizes.get(label, 0)
+                                        + count)
+        n_aggs = len(self.query.aggregates)
+        funcs = [agg.func for agg in self.query.aggregates]
+        for key, slots in partial.buckets.items():
+            mine = self.buckets.setdefault(key, [None] * n_aggs)
+            for i in range(n_aggs):
+                if slots[i] is not None:
+                    mine[i] = merge_partial(funcs[i], mine[i], slots[i])
+        if collect_stats:
+            stats.rows_scanned += partial.rows_scanned
+            stats.users_seen += partial.users_seen
+            stats.users_qualified += partial.users_qualified
+            stats.tuples_aggregated += partial.tuples_aggregated
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanTask:
+    """One unit of scan work: a chunk that survived pruning."""
+
+    chunk: Chunk
+    index: int
+
+
+class ChunkScheduler:
+    """Runs a plan: prune once, scan per chunk, stream-merge partials."""
+
+    def __init__(self, table: CompressedActivityTable, plan: CohortPlan,
+                 kernel: ChunkKernel | str,
+                 config: ExecutionConfig | None = None):
+        self.table = table
+        self.plan = plan
+        self.kernel = (get_kernel(kernel) if isinstance(kernel, str)
+                       else kernel)
+        self.config = config or ExecutionConfig()
+
+    def tasks(self, stats: ExecStats | None = None) -> list[ScanTask]:
+        """The scan tasks left after pruning (the single place pruning
+        decisions are made and counted)."""
+        stats = stats if stats is not None else ExecStats()
+        tasks: list[ScanTask] = []
+        if self.plan.birth_action_gid is None:
+            return tasks
+        for i, chunk in enumerate(self.table.chunks):
+            if self.plan.prune and chunk_prunable(self.table, chunk,
+                                                  self.plan):
+                stats.chunks_pruned += 1
+                continue
+            stats.chunks_scanned += 1
+            tasks.append(ScanTask(chunk=chunk, index=i))
+        return tasks
+
+    def run(self) -> tuple[CohortResult, ExecStats]:
+        """Execute the plan and build the result relation."""
+        query = self.plan.query
+        stats = ExecStats(chunks_total=self.table.n_chunks)
+        state = MergeState(query)
+        tasks = self.tasks(stats)
+        for partial in self._scan(tasks):
+            state.absorb(partial, stats, self.config.collect_stats)
+        rows = build_rows(self.table, state, self.kernel.decoded_labels)
+        return (CohortResult(columns=query.output_columns, rows=rows,
+                             n_cohort_columns=len(query.cohort_by)),
+                stats)
+
+    def _scan(self, tasks: list[ScanTask]):
+        """Yield ChunkPartials as scan tasks complete, per the backend."""
+        scan = self.kernel.scan
+        if self.config.backend == "serial" or self.config.jobs == 1 \
+                or len(tasks) <= 1:
+            for task in tasks:
+                yield scan(self.table, task.chunk, self.plan)
+            return
+        workers = min(self.config.jobs, len(tasks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(scan, self.table, task.chunk, self.plan)
+                       for task in tasks]
+            for future in as_completed(futures):
+                yield future.result()
+
+
+def execute(table: CompressedActivityTable, plan: CohortPlan,
+            kernel: ChunkKernel | str = "vectorized",
+            config: ExecutionConfig | None = None,
+            ) -> tuple[CohortResult, ExecStats]:
+    """Convenience wrapper: schedule + run in one call."""
+    return ChunkScheduler(table, plan, kernel, config).run()
+
+
+# ---------------------------------------------------------------------------
+# Row building (shared by all kernels)
+# ---------------------------------------------------------------------------
+
+
+def build_rows(table: CompressedActivityTable, state: MergeState,
+               decoded_labels: bool) -> list[tuple]:
+    """Finalize merged buckets into sorted result rows."""
+    query = state.query
+    schema = table.schema
+    if decoded_labels:
+        decoded = {label: label for label in state.cohort_sizes}
+    else:
+        decoded = {label: decode_label(table, schema, query, label)
+                   for label in state.cohort_sizes}
+
+    def sort_key(item):
+        label, age = item
+        return (tuple(str(v) for v in decoded[label]), age)
+
+    rows = []
+    for (label, age) in sorted(state.buckets, key=sort_key):
+        slots = state.buckets[(label, age)]
+        finals = [finalize_partial(agg.func, slot)
+                  for agg, slot in zip(query.aggregates, slots)]
+        rows.append((*decoded[label], state.cohort_sizes[label], age,
+                     *finals))
+    return rows
+
+
+def decode_label(table: CompressedActivityTable, schema,
+                 query: CohortQuery, label: tuple) -> tuple:
+    """Map an id-space cohort label to its output values."""
+    out = []
+    for name, value in zip(query.cohort_by, label):
+        spec = schema.column(name)
+        if spec.role is ColumnRole.TIME:
+            out.append(format_timestamp(int(value)))
+        elif spec.ltype is LogicalType.STRING:
+            out.append(table.value_of(name, int(value)))
+        else:
+            out.append(int(value))
+    return tuple(out)

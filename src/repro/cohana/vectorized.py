@@ -1,6 +1,6 @@
-"""COHANA's default (vectorized) executor.
+"""COHANA's default (vectorized) per-chunk kernel.
 
-Executes a :class:`~repro.cohana.planner.CohortPlan` chunk by chunk, fully
+Scans one chunk of a :class:`~repro.cohana.planner.CohortPlan`, fully
 vectorized with numpy — the Python-level equivalent of the paper's tight
 C++ scan loops (the repro hint for this paper: scan-speed claims need
 vectorization). The per-chunk algorithm mirrors Algorithms 1-2:
@@ -10,47 +10,39 @@ vectorization). The per-chunk algorithm mirrors Algorithms 1-2:
 2. evaluate the birth condition *once per user* on the birth tuples and
    drop every tuple of unqualified users (push-down + SkipCurUser);
 3. evaluate the age condition on the surviving rows, compute normalized
-   ages, and aggregate into (cohort, age) buckets;
-4. merge per-chunk partial aggregates (per-chunk distinct user counts add
-   up because no user spans two chunks — Section 4.5).
+   ages, and aggregate into (cohort, age) buckets.
 
-All group keys stay in global-dictionary id space until the final merge,
-so nothing is decoded to strings on the hot path.
+Chunk iteration, pruning, parallel dispatch and the cross-chunk merge all
+live in :mod:`repro.cohana.pipeline`; this module only turns one
+:class:`~repro.storage.chunk.Chunk` into a
+:class:`~repro.cohana.pipeline.ChunkPartial`. All group keys stay in
+global-dictionary id space until the final merge, so nothing is decoded
+to strings on the hot path.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.cohana.compile import EvalContext, compile_mask
-from repro.cohana.planner import CohortPlan
-from repro.cohort.concepts import bin_time
-from repro.cohort.query import CohortQuery
-from repro.cohort.result import CohortResult
-from repro.schema import (
-    TIME_UNIT_SECONDS,
-    ColumnRole,
-    LogicalType,
-    format_timestamp,
+from repro.cohana.pipeline import (
+    ChunkKernel,
+    ChunkPartial,
+    ExecStats,
+    ExecutionConfig,
+    chunk_prunable,
+    execute,
+    register_kernel,
 )
+from repro.cohana.planner import CohortPlan
+from repro.cohort.result import CohortResult
+from repro.schema import TIME_UNIT_SECONDS, ColumnRole, LogicalType
 from repro.storage.chunk import Chunk
 from repro.storage.reader import CompressedActivityTable
 
-
-@dataclass
-class ExecStats:
-    """Counters describing what one execution actually touched."""
-
-    chunks_total: int = 0
-    chunks_scanned: int = 0
-    chunks_pruned: int = 0
-    rows_scanned: int = 0
-    users_seen: int = 0
-    users_qualified: int = 0
-    tuples_aggregated: int = 0
+#: Backwards-compatible alias — pruning now lives in the pipeline layer.
+_prunable = chunk_prunable
 
 
 class _RunContext(EvalContext):
@@ -126,18 +118,18 @@ class _ChunkExecutor:
 
     # -- the per-chunk algorithm --------------------------------------------
 
-    def run(self, state: "_MergeState", stats: ExecStats) -> None:
+    def run(self, partial: ChunkPartial) -> None:
         plan = self._plan
         query = plan.query
         chunk = self._chunk
-        stats.rows_scanned += chunk.n_rows
+        partial.rows_scanned += chunk.n_rows
 
         rle = chunk.users
         run_ids = rle.user_ids.unpack()
         run_starts = rle.starts.unpack()
         run_counts = rle.counts.unpack()
         n_runs = len(run_ids)
-        stats.users_seen += n_runs
+        partial.users_seen += n_runs
         if n_runs == 0:
             return
 
@@ -161,7 +153,7 @@ class _ChunkExecutor:
         birth_mask = compile_mask(query.birth_condition, run_ctx)
         qualified = has_birth & birth_mask
         n_qualified = int(qualified.sum())
-        stats.users_qualified += n_qualified
+        partial.users_qualified += n_qualified
         if n_qualified == 0:
             return
 
@@ -172,7 +164,7 @@ class _ChunkExecutor:
                                                axis=0, return_inverse=True)
         label_keys = [tuple(int(v) for v in row) for row in uniq_labels]
         for key, count in zip(label_keys, np.bincount(label_inverse)):
-            state.add_cohort_size(key, int(count))
+            partial.add_cohort_size(key, int(count))
         run_label = np.full(n_runs, -1, dtype=np.int64)
         run_label[q_runs] = label_inverse
 
@@ -196,7 +188,7 @@ class _ChunkExecutor:
             agg_mask &= qualified_rows[sel]
         if not agg_mask.any():
             return
-        stats.tuples_aggregated += int(agg_mask.sum())
+        partial.tuples_aggregated += int(agg_mask.sum())
 
         # 5. (cohort, age) bucket aggregation.
         agg_rows = sel[agg_mask]
@@ -212,8 +204,8 @@ class _ChunkExecutor:
         for agg_index, agg in enumerate(query.aggregates):
             partials = self._aggregate(agg, group, n_groups, agg_rows,
                                        run_ids[agg_runs])
-            for key, partial in zip(group_keys, partials):
-                state.add_partial(key, agg_index, agg.func, partial)
+            for key, value in zip(group_keys, partials):
+                partial.add_partial(key, agg_index, agg.func, value)
 
     def _label_matrix(self, birth_pos: np.ndarray,
                       birth_time: np.ndarray) -> np.ndarray:
@@ -275,118 +267,24 @@ def _normalize_ages(raw: np.ndarray, unit_name: str) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
-# Cross-chunk merge
+# Kernel entry points
 # ---------------------------------------------------------------------------
 
 
-class _MergeState:
-    """Accumulates per-chunk partial aggregates and cohort sizes."""
-
-    def __init__(self, query: CohortQuery):
-        self.query = query
-        self.cohort_sizes: dict[tuple, int] = {}
-        self.buckets: dict[tuple, list] = {}
-
-    def add_cohort_size(self, label: tuple, count: int) -> None:
-        self.cohort_sizes[label] = self.cohort_sizes.get(label, 0) + count
-
-    def add_partial(self, key: tuple, agg_index: int, func: str,
-                    partial) -> None:
-        slots = self.buckets.setdefault(key,
-                                        [None] * len(self.query.aggregates))
-        slots[agg_index] = _merge_partial(func, slots[agg_index], partial)
+def scan_chunk(table: CompressedActivityTable, chunk: Chunk,
+               plan: CohortPlan) -> ChunkPartial:
+    """The pure per-chunk kernel: one chunk in, one ChunkPartial out."""
+    partial = ChunkPartial(n_aggregates=len(plan.query.aggregates))
+    _ChunkExecutor(table, chunk, plan).run(partial)
+    return partial
 
 
-def _merge_partial(func: str, state, partial):
-    if state is None:
-        return partial
-    if func in ("SUM", "COUNT", "USERCOUNT"):
-        return state + partial
-    if func == "AVG":
-        return (state[0] + partial[0], state[1] + partial[1])
-    if func == "MIN":
-        return min(state, partial)
-    if func == "MAX":
-        return max(state, partial)
-    raise ExecutionError(f"unknown aggregate {func!r}")
-
-
-def _finalize(func: str, state):
-    if state is None:
-        return None
-    if func == "AVG":
-        total, count = state
-        return total / count if count else None
-    return state
-
-
-# ---------------------------------------------------------------------------
-# Entry point
-# ---------------------------------------------------------------------------
+KERNEL = register_kernel(ChunkKernel(name="vectorized", scan=scan_chunk,
+                                     decoded_labels=False))
 
 
 def execute_plan(table: CompressedActivityTable,
                  plan: CohortPlan) -> tuple[CohortResult, ExecStats]:
-    """Run ``plan`` over every (non-pruned) chunk of ``table``."""
-    query = plan.query
-    stats = ExecStats(chunks_total=table.n_chunks)
-    state = _MergeState(query)
-    if plan.birth_action_gid is not None:
-        for chunk in table.chunks:
-            if plan.prune and _prunable(table, chunk, plan):
-                stats.chunks_pruned += 1
-                continue
-            stats.chunks_scanned += 1
-            _ChunkExecutor(table, chunk, plan).run(state, stats)
-    rows = _build_rows(table, state)
-    return (CohortResult(columns=query.output_columns, rows=rows,
-                         n_cohort_columns=len(query.cohort_by)),
-            stats)
-
-
-def _prunable(table: CompressedActivityTable, chunk, plan: CohortPlan,
-              ) -> bool:
-    if not table.chunk_may_contain_action(chunk, plan.birth_action_gid):
-        return True
-    if plan.time_low is not None or plan.time_high is not None:
-        time_name = table.schema.time.name
-        if not table.chunk_overlaps_range(chunk, time_name, plan.time_low,
-                                          plan.time_high):
-            return True
-    return False
-
-
-def _build_rows(table: CompressedActivityTable,
-                state: _MergeState) -> list[tuple]:
-    query = state.query
-    schema = table.schema
-    decoded: dict[tuple, tuple] = {}
-    for label in state.cohort_sizes:
-        decoded[label] = _decode_label(table, schema, query, label)
-
-    def sort_key(item):
-        label, age = item
-        return (tuple(str(v) for v in decoded[label]), age)
-
-    rows = []
-    for (label, age) in sorted(state.buckets, key=sort_key):
-        slots = state.buckets[(label, age)]
-        finals = [_finalize(agg.func, slot)
-                  for agg, slot in zip(query.aggregates, slots)]
-        rows.append((*decoded[label], state.cohort_sizes[label], age,
-                     *finals))
-    return rows
-
-
-def _decode_label(table: CompressedActivityTable, schema,
-                  query: CohortQuery, label: tuple) -> tuple:
-    out = []
-    for name, value in zip(query.cohort_by, label):
-        spec = schema.column(name)
-        if spec.role is ColumnRole.TIME:
-            out.append(format_timestamp(int(value)))
-        elif spec.ltype is LogicalType.STRING:
-            out.append(table.value_of(name, int(value)))
-        else:
-            out.append(int(value))
-    return tuple(out)
+    """Serial execution of ``plan`` (compatibility entry point; the
+    pipeline's :func:`~repro.cohana.pipeline.execute` is the real API)."""
+    return execute(table, plan, kernel=KERNEL, config=ExecutionConfig())

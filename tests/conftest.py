@@ -1,40 +1,15 @@
-"""Shared fixtures: the paper's Table 1 example and small helpers."""
+"""Shared fixtures: the paper's Table 1 example (see helpers.py)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.schema import ActivitySchema, LogicalType
+from repro.schema import ActivitySchema
 from repro.table import ActivityTable
 
-#: The paper's Table 1 (player / time / action / role / country / gold).
-TABLE1_ROWS = [
-    ("001", "2013/05/19:1000", "launch", "dwarf", "Australia", 0),
-    ("001", "2013/05/20:0800", "shop", "dwarf", "Australia", 50),
-    ("001", "2013/05/20:1400", "shop", "dwarf", "Australia", 100),
-    ("001", "2013/05/21:1400", "shop", "assassin", "Australia", 50),
-    ("001", "2013/05/22:0900", "fight", "assassin", "Australia", 0),
-    ("002", "2013/05/20:0900", "launch", "wizard", "United States", 0),
-    ("002", "2013/05/21:1500", "shop", "wizard", "United States", 30),
-    ("002", "2013/05/22:1700", "shop", "wizard", "United States", 40),
-    ("003", "2013/05/20:1000", "launch", "bandit", "China", 0),
-    ("003", "2013/05/21:1000", "fight", "bandit", "China", 0),
-]
+from helpers import TABLE1_ROWS, make_game_schema, make_table1  # noqa: F401
 
-
-def make_game_schema() -> ActivitySchema:
-    """The running-example schema used throughout the paper."""
-    return ActivitySchema.build(
-        user="player", time="time", action="action",
-        dimensions={"role": LogicalType.STRING,
-                    "country": LogicalType.STRING},
-        measures={"gold": LogicalType.INT},
-    )
-
-
-def make_table1() -> ActivityTable:
-    """The paper's Table 1 as a sorted activity table."""
-    return ActivityTable.from_rows(make_game_schema(), TABLE1_ROWS)
+__all__ = ["TABLE1_ROWS", "make_game_schema", "make_table1"]
 
 
 @pytest.fixture

@@ -30,7 +30,7 @@ from repro.cohort import (
 from repro.relational import Database
 from repro.table import ActivityTable
 
-from conftest import make_game_schema, make_table1
+from helpers import make_game_schema, make_table1
 
 Q1 = CohortQuery(
     birth_action="launch",

@@ -22,7 +22,7 @@ from repro.cohort import (
 from repro.schema import parse_timestamp
 from repro.table import ActivityTable
 
-from conftest import make_game_schema, make_table1
+from helpers import make_game_schema, make_table1
 
 Q1_TEXT = """
 SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
@@ -67,6 +67,23 @@ class TestEngineBasics:
             engine.table("missing")
         engine.drop_table("D")
         assert engine.tables() == []
+
+    def test_create_table_replace(self, engine, table1):
+        # Without replace, re-registering stays an error (test above);
+        # with replace=True the registration is overwritten in place.
+        first = engine.table("D")
+        replaced = engine.create_table("D", table1, target_chunk_rows=2,
+                                       replace=True)
+        assert engine.table("D") is replaced
+        assert replaced is not first
+        assert replaced.n_chunks > first.n_chunks
+
+    def test_register_replace(self, engine, table1):
+        compressed = engine.table("D")
+        with pytest.raises(CatalogError):
+            engine.register("D", compressed)
+        engine.register("D", compressed, replace=True)
+        assert engine.table("D") is compressed
 
     def test_save_load_roundtrip(self, engine, tmp_path):
         path = tmp_path / "d.cohana"

@@ -27,7 +27,7 @@ from repro.cohort import (
 from repro.errors import QueryError
 from repro.table import ActivityTable
 
-from conftest import make_game_schema
+from helpers import make_game_schema
 
 
 def row_ids(table, table1):

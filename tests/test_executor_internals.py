@@ -14,7 +14,7 @@ from repro.relational import (
 )
 from repro.relational.row_executor import split_equi_conjuncts
 
-from conftest import make_table1
+from helpers import make_table1
 
 LEFT = RelSchema(["a.p", "a.gold"])
 RIGHT = RelSchema(["b.p", "b.gold"])

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 from repro.errors import ReproError, StorageError
 from repro.storage import compress, deserialize, serialize
 
-from conftest import make_table1
+from helpers import make_table1
 
 #: Exceptions a corrupted payload may legitimately surface. Anything
 #: else (or a hang) is a bug.

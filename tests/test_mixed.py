@@ -5,7 +5,7 @@ import pytest
 from repro.errors import BindError, ParseError
 from repro.mixed import MixedEngine, is_cohort_query, split_mixed
 
-from conftest import make_table1
+from helpers import make_table1
 
 MIXED = """
 WITH cohorts AS (

@@ -13,7 +13,7 @@ from repro.relational import Database, RelTable
 from repro.schema import parse_timestamp
 from repro.table import ActivityTable
 
-from conftest import make_game_schema, make_table1
+from helpers import make_game_schema, make_table1
 
 
 def make_db(executor: str) -> Database:

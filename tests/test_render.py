@@ -24,7 +24,7 @@ from repro.cohort import (
     lit,
 )
 
-from conftest import make_game_schema
+from helpers import make_game_schema
 
 
 class TestRenderCondition:

@@ -17,7 +17,7 @@ from repro.storage import (
 )
 from repro.table import ActivityTable
 
-from conftest import make_game_schema, make_table1
+from helpers import make_game_schema, make_table1
 
 
 class TestCompress:

@@ -12,7 +12,7 @@ from repro.table import (
     write_csv,
 )
 
-from conftest import TABLE1_ROWS, make_game_schema
+from helpers import TABLE1_ROWS, make_game_schema
 
 
 class TestConstruction:

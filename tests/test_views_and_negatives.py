@@ -7,7 +7,7 @@ from repro.cohana import parse_cohort_query
 from repro.relational import Database
 from repro.sqlparser import parse_sql
 
-from conftest import make_table1
+from helpers import make_table1
 
 
 @pytest.fixture(params=["rows", "columnar"])
