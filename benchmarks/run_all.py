@@ -16,6 +16,11 @@ additionally records its timings (with speedups, the seed, and the jobs
 sweep) in ``BENCH_parallel.json`` so the numbers are reproducible:
 ``--seed`` pins the dataset generator, ``--jobs`` sets the largest
 worker count measured.
+
+The ``compressed`` experiment runs the selective workload under
+``scan_mode=decoded`` vs ``scan_mode=compressed`` at ``jobs=1`` and
+records timings, the scheduler's pruning counters, per-query speedups
+and the cross-mode result-parity check in ``BENCH_compressed.json``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import sys
 from pathlib import Path
 
 from repro.bench import (
+    compressed_scan_records,
     parallel_scaling,
     parallel_scaling_records,
     set_default_seed,
@@ -59,6 +65,60 @@ def run_parallel(max_jobs: int, seed: int, out: Path) -> None:
     print(f"\n[parallel results written to {out}]")
 
 
+def run_compressed(seed: int, out: Path, scale: int = 8,
+                   chunk_rows: int = 1024, repeat: int = 5) -> None:
+    """Run the compressed-vs-decoded scan experiment and record
+    BENCH_compressed.json (timings + pruning counters + parity)."""
+    records = compressed_scan_records(scale=scale, chunk_rows=chunk_rows,
+                                      repeat=repeat, jobs=1)
+    by_query: dict[str, dict[str, dict]] = {}
+    for record in records:
+        by_query.setdefault(record["query"], {})[record["scan_mode"]] \
+            = record
+    parity_ok = all(
+        modes["decoded"]["result_digest"]
+        == modes["compressed"]["result_digest"]
+        for modes in by_query.values())
+    summary = []
+    print("\ncompressed-domain scans vs decoded (jobs=1):")
+    for qname, modes in by_query.items():
+        dec, com = modes["decoded"], modes["compressed"]
+        speedup = (dec["seconds"] / com["seconds"]
+                   if com["seconds"] else None)
+        summary.append({
+            "query": qname,
+            "selective": com["selective"],
+            "speedup": round(speedup, 3) if speedup else None,
+            "chunks_pruned_compressed": com["chunks_pruned"],
+            "chunks_pruned_decoded": dec["chunks_pruned"],
+        })
+        print(f"  {qname:<14} decoded {dec['seconds']:.5f}s "
+              f"(pruned {dec['chunks_pruned']}/{dec['chunks_total']})  "
+              f"compressed {com['seconds']:.5f}s "
+              f"(pruned {com['chunks_pruned']}/{com['chunks_total']})  "
+              f"x{speedup:.2f}")
+    selective_ok = all(
+        s["speedup"] is not None and s["speedup"] > 1.0
+        and s["chunks_pruned_compressed"] > 0
+        for s in summary if s["selective"])
+    print(f"  parity: {'OK' if parity_ok else 'MISMATCH'}; "
+          f"selective queries beat decoded: "
+          f"{'yes' if selective_ok else 'NO'}")
+    payload = {
+        "experiment": "compressed_scan",
+        "seed": seed,
+        "scale": scale,
+        "chunk_rows": chunk_rows,
+        "jobs": 1,
+        "records": records,
+        "summary": summary,
+        "parity_ok": parity_ok,
+        "selective_ok": selective_ok,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[compressed-scan results written to {out}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the paper's figure experiments")
@@ -74,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_parallel.json",
                         help="where the parallel experiment records its "
                              "timings")
+    parser.add_argument("--compressed-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_compressed.json",
+                        help="where the compressed-scan experiment "
+                             "records its timings")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -85,13 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    figures = [n for n in selected if n != "parallel"]
+    figures = [n for n in selected if n not in ("parallel", "compressed")]
     if figures:
         code = run_and_print(figures)
         if code:
             return code
     if "parallel" in selected:
         run_parallel(args.jobs, args.seed, args.out)
+    if "compressed" in selected:
+        run_compressed(args.seed, args.compressed_out)
     return 0
 
 

@@ -294,6 +294,106 @@ def parallel_scaling_records(report: Report) -> list[dict]:
 
 
 # ---------------------------------------------------------------------------
+# Compressed-domain scans (ours): scan_mode=compressed vs decoded
+# ---------------------------------------------------------------------------
+
+
+def selective_queries(table: str = TABLE) -> dict[str, str]:
+    """The selective workload: birth conditions whose coded-domain
+    bounds give zone maps / chunk dictionaries something to prune.
+
+    ``rare_country`` / ``rare_city`` hit the Zipf tail (values absent
+    from most chunk dictionaries), ``country_range`` is a string range
+    only persisted zone maps can prune, ``country_in`` mixes two rare
+    members, and ``Q2_narrow`` is the paper's birth-time window (pruned
+    by time MIN/MAX in every mode — the baseline case where compressed
+    has no pruning edge; Q4 sits in between).
+    """
+    d2 = W.day_offset(_START, 3)
+    return {
+        "Q2_narrow": W.q5(_START, d2, table),
+        "Q4": W.q4(table),
+        "rare_country": (
+            f'SELECT role, COHORTSIZE, AGE, UserCount() FROM {table} '
+            f'BIRTH FROM action = "launch" AND country = "Thailand" '
+            f'COHORT BY role'),
+        "rare_city": (
+            f'SELECT country, COHORTSIZE, AGE, Sum(gold) FROM {table} '
+            f'BIRTH FROM action = "shop" AND city = "China City 2" '
+            f'COHORT BY country'),
+        "country_range": (
+            f'SELECT country, COHORTSIZE, AGE, UserCount() FROM {table} '
+            f'BIRTH FROM action = "launch" AND country >= "Vietnam" '
+            f'COHORT BY country'),
+        "country_in": (
+            f'SELECT country, COHORTSIZE, AGE, Avg(gold) FROM {table} '
+            f'BIRTH FROM action = "shop" AND '
+            f'country IN ["Thailand", "Peru"] COHORT BY country'),
+    }
+
+
+#: Queries whose birth bounds only the coded-domain metadata can prune —
+#: the subset where compressed mode must beat decoded outright.
+SELECTIVE_SET = ("rare_country", "rare_city", "country_range",
+                 "country_in")
+
+
+def compressed_scan_records(scale: int = 8, chunk_rows: int = 1024,
+                            repeat: int = 5, jobs: int = 1,
+                            executor: str = "vectorized") -> list[dict]:
+    """Measure the selective workload under both scan modes.
+
+    One record per (query, scan_mode) with wall time, the scheduler's
+    pruning counters, and a result digest (identical digests across
+    modes are the parity check recorded in ``BENCH_compressed.json``).
+    """
+    import hashlib
+
+    engine = cohana_engine(scale, chunk_rows)
+    records = []
+    for qname, text in selective_queries().items():
+        for mode in ("decoded", "compressed"):
+            result, stats = engine.query_with_stats(
+                text, executor=executor, jobs=jobs, scan_mode=mode)
+            seconds = time_query(engine, text, repeat=repeat,
+                                 executor=executor, jobs=jobs,
+                                 scan_mode=mode)
+            digest = hashlib.sha256(
+                repr(result.rows).encode()).hexdigest()[:16]
+            records.append({
+                "query": qname,
+                "scan_mode": mode,
+                "selective": qname in SELECTIVE_SET,
+                "seconds": seconds,
+                "chunks_total": stats.chunks_total,
+                "chunks_scanned": stats.chunks_scanned,
+                "chunks_pruned": stats.chunks_pruned,
+                "chunks_pruned_zone": stats.chunks_pruned_zone,
+                "rows_scanned": stats.rows_scanned,
+                "result_rows": len(result.rows),
+                "result_digest": digest,
+            })
+    return records
+
+
+def compressed_scan(scale: int = 8, chunk_rows: int = 1024,
+                    repeat: int = 5) -> Report:
+    """Figure-style report: decoded vs compressed seconds per query."""
+    report = Report(title="Compressed-domain scans with zone-map pruning "
+                          f"(scale={scale}, chunk={chunk_rows})",
+                    x_label="query", y_label="seconds")
+    records = compressed_scan_records(scale=scale, chunk_rows=chunk_rows,
+                                      repeat=repeat)
+    pruned = report.series_named("chunks pruned (compressed)")
+    for record in records:
+        series = report.series_named(f"scan_mode={record['scan_mode']}")
+        series.add(record["query"], round(record["seconds"], 5))
+        if record["scan_mode"] == "compressed":
+            pruned.add(record["query"], record["chunks_pruned"])
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Ablations (ours): executor / push-down / pruning
 # ---------------------------------------------------------------------------
 
@@ -330,4 +430,5 @@ EXPERIMENTS = {
     "fig11": fig11_comparison,
     "ablations": ablations,
     "parallel": parallel_scaling,
+    "compressed": compressed_scan,
 }

@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None,
                    choices=("serial", "threads"),
                    help="scan backend (default: threads when --jobs > 1)")
+    p.add_argument("--scan-mode", default="auto",
+                   choices=("auto", "decoded", "compressed"),
+                   help="predicate evaluation domain: 'compressed' "
+                        "evaluates on the encoded chunks with zone-map "
+                        "pruning, 'decoded' materializes codes first, "
+                        "'auto' picks per chunk (default)")
     p.add_argument("--age-unit", default="day")
     p.add_argument("--origin", default=None,
                    help="time-bin origin date for COHORT BY time")
@@ -120,10 +126,11 @@ def _dispatch(args) -> int:
         query = engine.parse(args.text, age_unit=args.age_unit,
                              time_bin_origin=origin)
         if args.explain:
-            print(engine.explain(query))
+            print(engine.explain(query, scan_mode=args.scan_mode))
             return 0
         result = engine.query(query, executor=args.executor,
-                              jobs=args.jobs, backend=args.backend)
+                              jobs=args.jobs, backend=args.backend,
+                              scan_mode=args.scan_mode)
         print(result.to_text())
         if args.pivot:
             print()

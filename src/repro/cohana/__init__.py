@@ -15,7 +15,10 @@ from repro.cohana.pipeline import (
 )
 from repro.cohana.render import render_condition, render_query
 from repro.cohana.planner import (
+    SCAN_MODES,
     CohortPlan,
+    ColumnBound,
+    extract_birth_bounds,
     extract_time_bounds,
     plan_query,
     required_columns,
@@ -30,13 +33,16 @@ __all__ = [
     "ChunkScheduler",
     "CohanaEngine",
     "CohortPlan",
+    "ColumnBound",
     "EXECUTORS",
     "ExecStats",
     "ExecutionConfig",
     "KERNELS",
     "LazyRow",
     "ParsedCohortQuery",
+    "SCAN_MODES",
     "bind_cohort_query",
+    "extract_birth_bounds",
     "extract_time_bounds",
     "parse_cohort_query",
     "plan_query",

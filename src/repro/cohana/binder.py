@@ -9,6 +9,13 @@ validated :class:`~repro.cohort.CohortQuery`:
   ``"2013-05-21"`` become epoch seconds);
 * resolves SELECT-list items against the COHORT BY attributes and builds
   :class:`~repro.cohort.AggregateSpec` entries with stable aliases.
+
+Binding is also where predicates become *rewritable into the coded
+domain*: once literals carry the compared column's type, the planner can
+translate each top-level conjunct (see :func:`split_conjuncts`) into
+global-dictionary-id or integer bounds
+(:func:`repro.cohana.planner.extract_birth_bounds`) that drive zone-map
+pruning and compressed-domain scans.
 """
 
 from __future__ import annotations
@@ -68,19 +75,29 @@ def bind_cohort_query(parsed: ParsedCohortQuery, schema: ActivitySchema,
     return query
 
 
+def split_conjuncts(condition: Condition) -> list[Condition]:
+    """The top-level conjuncts of ``condition``.
+
+    An ``And`` yields its parts, ``TrueCondition`` yields nothing, and
+    any other node is a single conjunct. Each returned conjunct is a
+    *necessary* condition, which is what makes per-conjunct rewrites
+    (birth-action extraction here, coded-domain bounds in the planner)
+    safe: anything a conjunct rules out, the whole condition rules out.
+    """
+    if isinstance(condition, And):
+        return list(condition.parts)
+    if isinstance(condition, TrueCondition):
+        return []
+    return [condition]
+
+
 def _extract_birth_action(clause: Condition,
                           schema: ActivitySchema) -> tuple[str, Condition]:
     """Pull the ``action = e`` conjunct out of the BIRTH FROM clause."""
     action_name = schema.action.name
-    if isinstance(clause, And):
-        conjuncts = list(clause.parts)
-    elif isinstance(clause, TrueCondition):
-        conjuncts = []
-    else:
-        conjuncts = [clause]
     birth_action = None
     rest = []
-    for part in conjuncts:
+    for part in split_conjuncts(clause):
         if (birth_action is None
                 and isinstance(part, Compare) and part.op == "="
                 and isinstance(part.left, AttrRef)

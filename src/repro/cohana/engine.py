@@ -22,13 +22,19 @@ be given explicitly, or via the loose ``jobs`` / ``backend`` options::
 
     result = engine.query(text, jobs=4)              # threads backend
     result = engine.query(text, jobs=4, backend="threads")
+    result = engine.query(text, scan_mode="compressed")
     result, stats = engine.query_with_stats(
         text, config=ExecutionConfig(backend="threads", jobs=2))
 
-``ExecutionConfig(backend, jobs, collect_stats)`` selects the scan
-backend (``'serial'`` or ``'threads'``), the worker count, and whether
-per-row/user counters are accumulated into ``ExecStats``. Chunk
-independence (no user spans two chunks) makes the parallel merge exact.
+``ExecutionConfig(backend, jobs, collect_stats, scan_mode)`` selects the
+scan backend (``'serial'`` or ``'threads'``), the worker count, whether
+per-row/user counters are accumulated into ``ExecStats``, and how
+predicates are evaluated: ``scan_mode='decoded'`` materializes codes
+first (the legacy path), ``'compressed'`` evaluates in the compressed
+domain with zone-map pruning, and ``'auto'`` (default) picks compressed
+wherever chunks carry persisted zone maps. Results are identical across
+modes. Chunk independence (no user spans two chunks) makes the parallel
+merge exact.
 """
 
 from __future__ import annotations
@@ -134,36 +140,41 @@ class CohanaEngine:
     # -- query executor --------------------------------------------------------
 
     def plan(self, query: CohortQuery | str, pushdown: bool = True,
-             prune: bool = True, **parse_kw) -> CohortPlan:
+             prune: bool = True, scan_mode: str = "auto",
+             **parse_kw) -> CohortPlan:
         """Build the physical plan (push-down + pruning decisions)."""
         if isinstance(query, str):
             query = self.parse(query, **parse_kw)
         return plan_query(query, self.table(query.table),
-                          pushdown=pushdown, prune=prune)
+                          pushdown=pushdown, prune=prune,
+                          scan_mode=scan_mode)
 
     def query_with_stats(self, query: CohortQuery | str,
                          executor: str = "vectorized",
                          pushdown: bool = True, prune: bool = True,
                          jobs: int = 1, backend: str | None = None,
                          collect_stats: bool = True,
+                         scan_mode: str = "auto",
                          config: ExecutionConfig | None = None,
                          **parse_kw) -> tuple[CohortResult, ExecStats]:
         """Execute and also return execution statistics.
 
         ``executor`` picks the per-chunk kernel family; ``jobs`` /
-        ``backend`` (or a full ``config``) pick how the scheduler runs
-        the chunk scans.
+        ``backend`` / ``scan_mode`` (or a full ``config``) pick how the
+        scheduler runs the chunk scans.
         """
         if isinstance(query, str):
             query = self.parse(query, **parse_kw)
         kernel = get_kernel(executor)
         if config is None:
             config = ExecutionConfig.resolve(jobs=jobs, backend=backend,
-                                             collect_stats=collect_stats)
-        elif jobs != 1 or backend is not None or not collect_stats:
+                                             collect_stats=collect_stats,
+                                             scan_mode=scan_mode)
+        elif (jobs != 1 or backend is not None or not collect_stats
+                or scan_mode != "auto"):
             raise ExecutionError(
                 "pass either config= or the loose jobs=/backend=/"
-                "collect_stats= options, not both")
+                "collect_stats=/scan_mode= options, not both")
         plan = plan_query(query, self.table(query.table),
                           pushdown=pushdown, prune=prune)
         return ChunkScheduler(self.table(query.table), plan, kernel,
@@ -176,7 +187,8 @@ class CohanaEngine:
         return result
 
     def explain(self, query: CohortQuery | str, pushdown: bool = True,
-                prune: bool = True, **parse_kw) -> str:
+                prune: bool = True, scan_mode: str = "auto",
+                **parse_kw) -> str:
         """A textual plan description (EXPLAIN)."""
         return self.plan(query, pushdown=pushdown, prune=prune,
-                         **parse_kw).describe()
+                         scan_mode=scan_mode, **parse_kw).describe()

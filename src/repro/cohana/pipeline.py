@@ -15,7 +15,15 @@ instead of each executor hand-rolling its own chunk loop:
   ``iterator`` executors register themselves here and contain *only*
   per-chunk logic;
 * :class:`ExecutionConfig` selects the backend (``serial`` or ``threads``
-  via :mod:`concurrent.futures`) and the worker count.
+  via :mod:`concurrent.futures`), the worker count, and the ``scan_mode``
+  (``decoded`` | ``compressed`` | ``auto``).
+
+Pruning is metadata-exact, not heuristic: every skip is proven from
+persisted storage metadata — the action chunk dictionary, the birth
+condition's coded-domain bounds against persisted per-chunk zone maps
+(:mod:`repro.storage.zonemap`), and chunk-dictionary membership for
+equality/IN constraints — so pruned chunks can contain no qualifying
+birth tuple and results are identical with pruning on or off.
 
 Because kernels are pure (they share no mutable state and only read the
 immutable compressed table), running them concurrently over chunks is
@@ -26,15 +34,16 @@ locking is needed anywhere.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import CatalogError, ExecutionError
-from repro.cohana.planner import CohortPlan
+from repro.cohana.planner import SCAN_MODES, CohortPlan
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
 from repro.schema import ColumnRole, LogicalType, format_timestamp
 from repro.storage.chunk import Chunk
+from repro.storage.dictionary import DictEncodedColumn
 from repro.storage.reader import CompressedActivityTable
 
 #: Backends the scheduler can dispatch scan tasks through.
@@ -43,11 +52,19 @@ BACKENDS = ("serial", "threads")
 
 @dataclass
 class ExecStats:
-    """Counters describing what one execution actually touched."""
+    """Counters describing what one execution actually touched.
+
+    ``chunks_pruned_zone`` counts the subset of ``chunks_pruned`` that
+    only the coded-domain metadata path (persisted zone maps /
+    chunk-dictionary membership on non-action birth bounds) could
+    prove prunable; the invariant
+    ``chunks_pruned + chunks_scanned == chunks_total`` always holds.
+    """
 
     chunks_total: int = 0
     chunks_scanned: int = 0
     chunks_pruned: int = 0
+    chunks_pruned_zone: int = 0
     rows_scanned: int = 0
     users_seen: int = 0
     users_qualified: int = 0
@@ -64,11 +81,18 @@ class ExecutionConfig:
         jobs: worker count for parallel backends (ignored by ``serial``).
         collect_stats: accumulate the per-chunk row/user counters into
             :class:`ExecStats`; chunk-level counters are always kept.
+        scan_mode: ``'decoded'`` (legacy path: materialize codes, then
+            filter; pruning limited to the action dictionary and birth
+            time range), ``'compressed'`` (coded-domain predicate
+            evaluation plus zone-map/metadata pruning), or ``'auto'``
+            (compressed wherever chunks carry zone maps). Results are
+            identical across modes; only the work done differs.
     """
 
     backend: str = "serial"
     jobs: int = 1
     collect_stats: bool = True
+    scan_mode: str = "auto"
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -76,15 +100,20 @@ class ExecutionConfig:
                 f"unknown backend {self.backend!r}; have {BACKENDS}")
         if self.jobs < 1:
             raise ExecutionError(f"jobs must be >= 1, got {self.jobs}")
+        if self.scan_mode not in SCAN_MODES:
+            raise ExecutionError(
+                f"unknown scan_mode {self.scan_mode!r}; have {SCAN_MODES}")
 
     @classmethod
     def resolve(cls, jobs: int = 1, backend: str | None = None,
-                collect_stats: bool = True) -> "ExecutionConfig":
+                collect_stats: bool = True,
+                scan_mode: str = "auto") -> "ExecutionConfig":
         """Build a config from loose options: ``backend=None`` picks
         ``threads`` when ``jobs > 1`` and ``serial`` otherwise."""
         if backend is None:
             backend = "threads" if jobs > 1 else "serial"
-        return cls(backend=backend, jobs=jobs, collect_stats=collect_stats)
+        return cls(backend=backend, jobs=jobs, collect_stats=collect_stats,
+                   scan_mode=scan_mode)
 
 
 @dataclass
@@ -108,10 +137,13 @@ class ChunkPartial:
     tuples_aggregated: int = 0
 
     def add_cohort_size(self, label: tuple, count: int) -> None:
+        """Count ``count`` qualified users born into cohort ``label``."""
         self.cohort_sizes[label] = self.cohort_sizes.get(label, 0) + count
 
     def add_partial(self, key: tuple, agg_index: int, func: str,
                     partial) -> None:
+        """Fold one partial state into the ``(label, age)`` bucket's
+        slot for the ``agg_index``-th aggregate of the SELECT list."""
         slots = self.buckets.setdefault(key, [None] * self.n_aggregates)
         slots[agg_index] = merge_partial(func, slots[agg_index], partial)
 
@@ -186,16 +218,62 @@ def get_kernel(name: str) -> ChunkKernel:
 
 def chunk_prunable(table: CompressedActivityTable, chunk: Chunk,
                    plan: CohortPlan) -> bool:
-    """Section 4.1 pruning: action chunk-dictionary miss, or birth-time
-    range disjoint from the chunk's time MIN/MAX."""
+    """Can ``chunk`` be skipped without changing the result?
+
+    Every check is exact, proven from storage metadata alone (no segment
+    is decoded): a pruned chunk cannot host a qualifying birth tuple,
+    and since a user's tuples never span chunks, it cannot contribute
+    anything to the result. See :func:`prune_reason` for which evidence
+    applies in which ``scan_mode``.
+    """
+    return prune_reason(table, chunk, plan) is not None
+
+
+def prune_reason(table: CompressedActivityTable, chunk: Chunk,
+                 plan: CohortPlan) -> str | None:
+    """Why ``chunk`` is prunable — or None when it must be scanned.
+
+    * ``'action'`` — the birth action's global id is absent from the
+      chunk's action dictionary (Section 4.1; all modes);
+    * ``'time'`` — the birth condition's time bounds miss the chunk's
+      time MIN/MAX (Section 4.1; all modes);
+    * ``'zonemap'`` — a coded-domain birth bound is disjoint from the
+      chunk's persisted zone map, an equality/IN constraint has no
+      member in the chunk dictionary, or the birth condition is
+      unsatisfiable table-wide. Only applied when
+      ``plan.scan_mode != 'decoded'`` (``decoded`` is the legacy
+      baseline the benchmarks compare against).
+    """
     if not table.chunk_may_contain_action(chunk, plan.birth_action_gid):
-        return True
+        return "action"
     if plan.time_low is not None or plan.time_high is not None:
         time_name = table.schema.time.name
         if not table.chunk_overlaps_range(chunk, time_name, plan.time_low,
                                           plan.time_high):
-            return True
-    return False
+            return "time"
+    if plan.scan_mode != "decoded":
+        if not plan.birth_satisfiable:
+            return "zonemap"
+        for bound in plan.birth_bounds:
+            col = chunk.columns.get(bound.column)
+            if (bound.gids is not None
+                    and isinstance(col, DictEncodedColumn)
+                    and not col.contains_any_global_id(bound.gids)):
+                return "zonemap"
+            zone = chunk.zone_map(bound.column)
+            if zone is not None and not zone.overlaps(bound.low,
+                                                      bound.high):
+                return "zonemap"
+    return None
+
+
+def resolve_scan_mode(plan_mode: str, chunk: Chunk) -> str:
+    """The effective scan mode for one chunk: ``auto`` picks
+    ``compressed`` when the chunk carries persisted zone maps and
+    ``decoded`` otherwise (version-1 files)."""
+    if plan_mode == "auto":
+        return "compressed" if chunk.has_zone_maps else "decoded"
+    return plan_mode
 
 
 # ---------------------------------------------------------------------------
@@ -247,16 +325,24 @@ class ScanTask:
 
 
 class ChunkScheduler:
-    """Runs a plan: prune once, scan per chunk, stream-merge partials."""
+    """Runs a plan: prune once, scan per chunk, stream-merge partials.
+
+    A non-``auto`` ``config.scan_mode`` overrides the plan's, so the
+    same :class:`~repro.cohana.planner.CohortPlan` can be executed in
+    either mode without replanning.
+    """
 
     def __init__(self, table: CompressedActivityTable, plan: CohortPlan,
                  kernel: ChunkKernel | str,
                  config: ExecutionConfig | None = None):
         self.table = table
+        self.config = config or ExecutionConfig()
+        if (self.config.scan_mode != "auto"
+                and plan.scan_mode != self.config.scan_mode):
+            plan = replace(plan, scan_mode=self.config.scan_mode)
         self.plan = plan
         self.kernel = (get_kernel(kernel) if isinstance(kernel, str)
                        else kernel)
-        self.config = config or ExecutionConfig()
 
     def tasks(self, stats: ExecStats | None = None) -> list[ScanTask]:
         """The scan tasks left after pruning (the single place pruning
@@ -266,10 +352,13 @@ class ChunkScheduler:
         if self.plan.birth_action_gid is None:
             return tasks
         for i, chunk in enumerate(self.table.chunks):
-            if self.plan.prune and chunk_prunable(self.table, chunk,
-                                                  self.plan):
-                stats.chunks_pruned += 1
-                continue
+            if self.plan.prune:
+                reason = prune_reason(self.table, chunk, self.plan)
+                if reason is not None:
+                    stats.chunks_pruned += 1
+                    if reason == "zonemap":
+                        stats.chunks_pruned_zone += 1
+                    continue
             stats.chunks_scanned += 1
             tasks.append(ScanTask(chunk=chunk, index=i))
         return tasks

@@ -10,6 +10,14 @@ The logical plan of a cohort query is the fixed operator chain
   chunk whose action chunk-dictionary lacks it is skipped, and any chunk
   whose time range misses the birth condition's time bounds is skipped
   (a user's tuples live in one chunk, so its birth tuple does too);
+* **coded-domain rewrite** — every sargable birth-condition conjunct is
+  translated into the *coded* domain once, at plan time
+  (:func:`extract_birth_bounds`): equality and IN on dictionary-encoded
+  columns become global-id sets, string ranges become global-id ranges
+  (sorted dictionaries make id order lexicographic order), and integer
+  ranges stay as-is. The resulting :class:`ColumnBound` list drives
+  zone-map pruning in the scheduler and predicate short-circuits in the
+  compressed scan path, with no per-chunk dictionary lookups;
 * **column pruning** — only columns referenced by the query are decoded.
 
 One deliberate deviation from Section 4.1's prose: the paper also prunes
@@ -23,8 +31,10 @@ tuple lives in the same chunk as the user.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
+from repro.cohana.binder import split_conjuncts
 from repro.cohort.conditions import (
     And,
     AttrRef,
@@ -35,8 +45,46 @@ from repro.cohort.conditions import (
     Literal,
 )
 from repro.cohort.query import CohortQuery
-from repro.schema import ActivitySchema, ColumnRole
+from repro.schema import ActivitySchema, ColumnRole, LogicalType
+from repro.storage.chunk import encoded_column_kind
 from repro.storage.reader import CompressedActivityTable
+
+
+#: Valid values of the ``scan_mode`` knob (plan- and config-level).
+SCAN_MODES = ("auto", "decoded", "compressed")
+
+
+@dataclass(frozen=True)
+class ColumnBound:
+    """Coded-domain constraints one birth-condition column must satisfy.
+
+    ``low``/``high`` are an inclusive necessary range in the *coded*
+    domain — global-dictionary ids for string columns (sorted
+    dictionaries make id order value order), plain values for integer
+    and float columns. ``gids`` is an exact membership set for
+    dictionary columns constrained by ``=`` / ``IN``: the chunk must
+    contain at least one of these global ids to host a qualifying birth
+    tuple.
+
+    Attributes:
+        column: the constrained column.
+        kind: its encoder family (``'dict'``, ``'delta'`` or ``'raw'``).
+        low, high: inclusive coded-domain bounds (None = unbounded).
+        gids: exact global-id membership set, or None when the
+            constraint is range-only.
+    """
+
+    column: str
+    kind: str
+    low: int | float | None = None
+    high: int | float | None = None
+    gids: tuple[int, ...] | None = None
+
+    def describe(self) -> str:
+        """Compact rendering for EXPLAIN output."""
+        if self.gids is not None:
+            return f"{self.column} IN ids{list(self.gids)}"
+        return f"{self.column} in [{self.low}, {self.high}]"
 
 
 @dataclass(frozen=True)
@@ -51,7 +99,18 @@ class CohortPlan:
             condition for chunk pruning (None = unbounded).
         columns: every non-user column the executors must decode.
         pushdown: evaluate σ^b before σ^g (the paper's optimization).
-        prune: skip chunks via action dictionaries / time ranges.
+        prune: skip chunks via action dictionaries / time ranges / zone
+            maps.
+        birth_bounds: coded-domain bounds per birth-condition column
+            (:class:`ColumnBound`), used for zone-map pruning.
+        birth_satisfiable: False when some birth conjunct can match no
+            value anywhere in the table (e.g. equality with a string
+            absent from the global dictionary) — the result is provably
+            empty and every chunk is prunable.
+        scan_mode: ``'decoded'`` (materialize codes, then filter),
+            ``'compressed'`` (evaluate predicates in the compressed
+            domain and use zone-map/metadata pruning), or ``'auto'``
+            (compressed wherever the chunk carries zone maps).
     """
 
     query: CohortQuery
@@ -61,10 +120,16 @@ class CohortPlan:
     columns: tuple[str, ...]
     pushdown: bool = True
     prune: bool = True
+    birth_bounds: tuple[ColumnBound, ...] = ()
+    birth_satisfiable: bool = True
+    scan_mode: str = "auto"
 
     def describe(self) -> str:
         """A human-readable plan, in the spirit of EXPLAIN."""
         q = self.query
+        bounds = ", ".join(b.describe() for b in self.birth_bounds)
+        if not self.birth_satisfiable:
+            bounds = "unsatisfiable"
         lines = [
             f"CohortAggregate(L={list(q.cohort_by)}, e={q.birth_action!r}, "
             f"f={[str(a) for a in q.aggregates]})",
@@ -73,20 +138,25 @@ class CohortPlan:
             f"[{'pushed below age selection' if self.pushdown else 'not pushed'}]",
             f"  TableScan(columns={list(self.columns)}, "
             f"prune={'on' if self.prune else 'off'}, "
+            f"scan_mode={self.scan_mode}, "
             f"birth_gid={self.birth_action_gid}, "
-            f"time_range=[{self.time_low}, {self.time_high}])",
+            f"time_range=[{self.time_low}, {self.time_high}], "
+            f"bounds=[{bounds}])",
         ]
         return "\n".join(lines)
 
 
 def plan_query(query: CohortQuery, table: CompressedActivityTable,
-               pushdown: bool = True, prune: bool = True) -> CohortPlan:
+               pushdown: bool = True, prune: bool = True,
+               scan_mode: str = "auto") -> CohortPlan:
     """Build the physical plan for ``query`` over ``table``."""
     schema = table.schema
     query.validate(schema)
     gid = table.global_id(schema.action.name, query.birth_action)
     low, high = extract_time_bounds(query.birth_condition,
                                     schema.time.name)
+    bounds, satisfiable = extract_birth_bounds(query.birth_condition,
+                                               schema, table)
     return CohortPlan(
         query=query,
         birth_action_gid=gid,
@@ -95,6 +165,9 @@ def plan_query(query: CohortQuery, table: CompressedActivityTable,
         columns=tuple(required_columns(query, schema)),
         pushdown=pushdown,
         prune=prune,
+        birth_bounds=bounds,
+        birth_satisfiable=satisfiable,
+        scan_mode=scan_mode,
     )
 
 
@@ -150,6 +223,193 @@ def extract_time_bounds(condition: Condition,
             if part.values:
                 tighten(int(min(part.values)), int(max(part.values)))
     return low, high
+
+
+# ---------------------------------------------------------------------------
+# Coded-domain birth bounds (zone-map pruning / compressed scans)
+# ---------------------------------------------------------------------------
+
+
+class _Accumulator:
+    """Per-column intersection of conjunct constraints (coded domain)."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.low = None
+        self.high = None
+        self.gids: set[int] | None = None
+        self.satisfiable = True
+
+    def tighten(self, low, high) -> None:
+        if low is not None:
+            self.low = low if self.low is None else max(self.low, low)
+        if high is not None:
+            self.high = high if self.high is None else min(self.high, high)
+        if (self.low is not None and self.high is not None
+                and self.low > self.high):
+            self.satisfiable = False
+
+    def restrict_gids(self, gids: set[int]) -> None:
+        self.gids = gids if self.gids is None else (self.gids & gids)
+        if not self.gids:
+            self.satisfiable = False
+            return
+        self.tighten(min(self.gids), max(self.gids))
+
+
+def extract_birth_bounds(condition: Condition, schema: ActivitySchema,
+                         table: CompressedActivityTable,
+                         ) -> tuple[tuple[ColumnBound, ...], bool]:
+    """Rewrite the birth condition's sargable conjuncts into the coded
+    domain.
+
+    Returns ``(bounds, satisfiable)``. Each :class:`ColumnBound` is a
+    *necessary* constraint on one column: string literals are translated
+    to global-dictionary ids once, here (equality/IN become id sets,
+    ordered comparisons become id ranges via the sorted dictionary), and
+    integer/float literals stay as values. ``satisfiable=False`` means
+    some conjunct provably matches nothing in this table (the result is
+    empty without scanning).
+
+    Only top-level conjuncts over a single plain attribute and literals
+    are used; anything else (disjunctions, ``Birth()`` refs, ``!=``,
+    cross-column comparisons) is simply not rewritten — the bounds stay
+    conservative, so pruning with them never drops qualifying chunks.
+    """
+    accs: dict[str, _Accumulator] = {}
+
+    def acc_for(name: str) -> _Accumulator | None:
+        if name not in schema or name == schema.user.name:
+            return None
+        spec = schema.column(name)
+        if spec.role is ColumnRole.USER:
+            return None
+        if name not in accs:
+            accs[name] = _Accumulator(encoded_column_kind(schema, name))
+        return accs[name]
+
+    for part in split_conjuncts(condition):
+        _fold_conjunct(part, schema, table, acc_for)
+
+    satisfiable = all(a.satisfiable for a in accs.values())
+    bounds = tuple(
+        ColumnBound(column=name, kind=acc.kind, low=acc.low, high=acc.high,
+                    gids=(tuple(sorted(acc.gids))
+                          if acc.gids is not None else None))
+        for name, acc in sorted(accs.items())
+        if acc.low is not None or acc.high is not None
+        or acc.gids is not None)
+    return bounds, satisfiable
+
+
+def _fold_conjunct(part: Condition, schema, table, acc_for) -> None:
+    """Fold one conjunct into the per-column accumulators (no-op when
+    the conjunct is not sargable)."""
+    if isinstance(part, Compare):
+        attr, op, literal = _attr_op_literal(part)
+        if attr is None:
+            return
+        acc = acc_for(attr)
+        if acc is None:
+            return
+        if acc.kind == "dict":
+            _fold_string_compare(acc, op, literal, table, attr)
+        else:
+            _fold_numeric_compare(acc, op, literal)
+    elif isinstance(part, Between):
+        if not (isinstance(part.operand, AttrRef)
+                and isinstance(part.low, Literal)
+                and isinstance(part.high, Literal)):
+            return
+        acc = acc_for(part.operand.name)
+        if acc is None:
+            return
+        if acc.kind == "dict":
+            _fold_string_compare(acc, ">=", part.low.raw, table,
+                                 part.operand.name)
+            _fold_string_compare(acc, "<=", part.high.raw, table,
+                                 part.operand.name)
+        else:
+            _fold_numeric_compare(acc, ">=", part.low.raw)
+            _fold_numeric_compare(acc, "<=", part.high.raw)
+    elif isinstance(part, InList):
+        if not isinstance(part.operand, AttrRef) or not part.values:
+            return
+        acc = acc_for(part.operand.name)
+        if acc is None:
+            return
+        if acc.kind == "dict":
+            gids = {table.global_id(part.operand.name, v)
+                    for v in part.values if isinstance(v, str)}
+            gids.discard(None)
+            acc.restrict_gids({int(g) for g in gids})
+        else:
+            values = [v for v in part.values
+                      if isinstance(v, (int, float))]
+            if values:
+                acc.tighten(min(values), max(values))
+
+
+def _attr_op_literal(part: Compare):
+    """Normalize a comparison to (attr_name, op, literal), attr left."""
+    if isinstance(part.left, AttrRef) and isinstance(part.right, Literal):
+        return part.left.name, part.op, part.right.raw
+    if isinstance(part.right, AttrRef) and isinstance(part.left, Literal):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+                   "!=": "!="}[part.op]
+        return part.right.name, flipped, part.left.raw
+    return None, None, None
+
+
+def _fold_string_compare(acc: _Accumulator, op: str, literal, table,
+                         column: str) -> None:
+    """Translate one string comparison into global-id space."""
+    if not isinstance(literal, str):
+        return
+    values = table.dictionary(column).values
+    if op == "=":
+        gid = table.global_id(column, literal)
+        if gid is None:
+            acc.satisfiable = False
+            return
+        acc.restrict_gids({int(gid)})
+    elif op == "<":
+        acc.tighten(None, bisect.bisect_left(values, literal) - 1)
+    elif op == "<=":
+        acc.tighten(None, bisect.bisect_right(values, literal) - 1)
+    elif op == ">":
+        acc.tighten(bisect.bisect_right(values, literal), None)
+    elif op == ">=":
+        acc.tighten(bisect.bisect_left(values, literal), None)
+    # '!=' carries no range information.
+    if acc.high is not None and acc.high < 0:
+        acc.satisfiable = False
+    if acc.low is not None and acc.low >= len(values):
+        acc.satisfiable = False
+
+
+def _fold_numeric_compare(acc: _Accumulator, op: str, literal) -> None:
+    """Fold one integer/float comparison into value-domain bounds.
+
+    Strict bounds are tightened by one only when both the column domain
+    (``'delta'`` = integers) and the literal are integral; a raw
+    (float) column keeps the literal itself as a conservative inclusive
+    bound, since values may fall strictly between ``literal - 1`` and
+    ``literal``.
+    """
+    if not isinstance(literal, (int, float)):
+        return
+    integral = acc.kind == "delta" and isinstance(literal, int)
+    if op == "=":
+        acc.tighten(literal, literal)
+    elif op == "<":
+        acc.tighten(None, literal - 1 if integral else literal)
+    elif op == "<=":
+        acc.tighten(None, literal)
+    elif op == ">":
+        acc.tighten(literal + 1 if integral else literal, None)
+    elif op == ">=":
+        acc.tighten(literal, None)
 
 
 def _is_time_attr(operand, time_column: str) -> bool:

@@ -12,6 +12,15 @@ vectorization). The per-chunk algorithm mirrors Algorithms 1-2:
 3. evaluate the age condition on the surviving rows, compute normalized
    ages, and aggregate into (cohort, age) buckets.
 
+The kernel honours the plan's ``scan_mode``: under ``compressed`` (and
+``auto`` over zone-mapped chunks) the birth-action search compares
+bit-packed *chunk-local* codes instead of gathered global ids, and the
+birth/age conditions go through
+:func:`~repro.cohana.compressed.compressed_mask`, which evaluates
+dictionary-column leaves once per distinct chunk value and short-circuits
+range leaves against segment MIN/MAX. ``decoded`` keeps the fully
+materialized path; both modes produce identical partials.
+
 Chunk iteration, pruning, parallel dispatch and the cross-chunk merge all
 live in :mod:`repro.cohana.pipeline`; this module only turns one
 :class:`~repro.storage.chunk.Chunk` into a
@@ -26,6 +35,7 @@ import numpy as np
 
 from repro.errors import ExecutionError
 from repro.cohana.compile import EvalContext, compile_mask
+from repro.cohana.compressed import compressed_mask
 from repro.cohana.pipeline import (
     ChunkKernel,
     ChunkPartial,
@@ -34,11 +44,13 @@ from repro.cohana.pipeline import (
     chunk_prunable,
     execute,
     register_kernel,
+    resolve_scan_mode,
 )
 from repro.cohana.planner import CohortPlan
 from repro.cohort.result import CohortResult
 from repro.schema import TIME_UNIT_SECONDS, ColumnRole, LogicalType
 from repro.storage.chunk import Chunk
+from repro.storage.dictionary import DictEncodedColumn
 from repro.storage.reader import CompressedActivityTable
 
 #: Backwards-compatible alias — pruning now lives in the pipeline layer.
@@ -95,7 +107,15 @@ class _RowContext(EvalContext):
 
 
 class _ChunkExecutor:
-    """Executes the plan against one chunk, producing partial aggregates."""
+    """Executes the plan against one chunk, producing partial aggregates.
+
+    Doubles as the chunk accessor for
+    :func:`~repro.cohana.compressed.compressed_mask`: the bit-packed
+    chunk ids and chunk-dictionary global ids are unpacked at most once
+    and shared between the compressed evaluator and any decoded
+    fallback (``column`` composes them, so switching domains never
+    repeats work).
+    """
 
     def __init__(self, table: CompressedActivityTable, chunk: Chunk,
                  plan: CohortPlan):
@@ -103,18 +123,73 @@ class _ChunkExecutor:
         self._chunk = chunk
         self._plan = plan
         self._cache: dict[str, np.ndarray] = {}
+        self._local_ids: dict[str, np.ndarray] = {}
+        self._chunk_gids: dict[str, np.ndarray] = {}
         self.schema = table.schema
+        self.scan_mode = resolve_scan_mode(plan.scan_mode, chunk)
 
     def column(self, name: str) -> np.ndarray:
         if name not in self._cache:
-            self._cache[name] = self._chunk.decode_codes(name)
+            col = self._chunk.columns.get(name)
+            if isinstance(col, DictEncodedColumn):
+                gids = self.chunk_gids(name)
+                self._cache[name] = gids[self.local_ids(name)]
+            else:
+                self._cache[name] = self._chunk.decode_codes(name)
         return self._cache[name]
+
+    def chunk_column(self, name: str):
+        """The encoded (compressed) segment for ``name``, or None."""
+        return self._chunk.columns.get(name)
+
+    def local_ids(self, name: str) -> np.ndarray:
+        """Per-row chunk-local codes of a dictionary column (cached)."""
+        if name not in self._local_ids:
+            self._local_ids[name] = \
+                self._chunk.columns[name].chunk_ids.unpack()
+        return self._local_ids[name]
+
+    def chunk_gids(self, name: str) -> np.ndarray:
+        """Sorted distinct global ids of a dictionary column (cached)."""
+        if name not in self._chunk_gids:
+            self._chunk_gids[name] = \
+                self._chunk.columns[name].chunk_dict.unpack()
+        return self._chunk_gids[name]
+
+    def global_dictionary(self, name: str):
+        return self._table.dictionary(name)
 
     def dictionary_for(self, name: str):
         spec = self.schema.column(name)
         if spec.ltype is LogicalType.STRING:
             return self._table.dictionary(name)
         return None
+
+    def _mask(self, condition, ctx, positions: np.ndarray) -> np.ndarray:
+        """Condition mask over ``positions``, in the mode's domain."""
+        if self.scan_mode == "compressed":
+            return compressed_mask(condition, ctx, self, positions)
+        return compile_mask(condition, ctx)
+
+    def _action_positions(self, gid: int) -> np.ndarray:
+        """Row positions holding the birth action.
+
+        Compressed mode binary-searches the chunk dictionary for the
+        action's *local* code and compares the bit-packed chunk ids
+        directly — no global-id gather. Decoded mode compares the
+        materialized global-id array (and reuses it if the action
+        column is needed again later).
+        """
+        col = self._chunk.columns.get(self.schema.action.name)
+        if self.scan_mode == "compressed" and isinstance(
+                col, DictEncodedColumn):
+            name = self.schema.action.name
+            gids = self.chunk_gids(name)
+            pos = int(np.searchsorted(gids, gid))
+            if pos >= gids.size or int(gids[pos]) != gid:
+                return np.empty(0, dtype=np.int64)
+            return np.flatnonzero(self.local_ids(name) == pos)
+        return np.flatnonzero(self.column(self.schema.action.name) == gid)
 
     # -- the per-chunk algorithm --------------------------------------------
 
@@ -134,10 +209,9 @@ class _ChunkExecutor:
             return
 
         times = self.column(self.schema.time.name)
-        actions = self.column(self.schema.action.name)
 
         # 1. birth tuples: first action-e position inside each run.
-        e_pos = np.flatnonzero(actions == plan.birth_action_gid)
+        e_pos = self._action_positions(plan.birth_action_gid)
         if e_pos.size == 0:
             return
         idx = np.searchsorted(e_pos, run_starts)
@@ -150,7 +224,7 @@ class _ChunkExecutor:
 
         # 2. birth selection, once per user.
         run_ctx = _RunContext(self, birth_pos)
-        birth_mask = compile_mask(query.birth_condition, run_ctx)
+        birth_mask = self._mask(query.birth_condition, run_ctx, birth_pos)
         qualified = has_birth & birth_mask
         n_qualified = int(qualified.sum())
         partial.users_qualified += n_qualified
@@ -182,7 +256,7 @@ class _ChunkExecutor:
         ages = _normalize_ages(raw_age, query.age_unit)
 
         row_ctx = _RowContext(self, sel, birth_pos[row_run_sel], ages)
-        age_mask = compile_mask(query.age_condition, row_ctx)
+        age_mask = self._mask(query.age_condition, row_ctx, sel)
         agg_mask = (raw_age > 0) & age_mask
         if not plan.pushdown:
             agg_mask &= qualified_rows[sel]

@@ -18,6 +18,7 @@ from repro.storage.reader import CompressedActivityTable
 from repro.storage.rle import RleColumn, encode_users
 from repro.storage.stats import ColumnStats, StorageStats, collect_stats
 from repro.storage.writer import DEFAULT_CHUNK_ROWS, compress
+from repro.storage.zonemap import ZoneMap, build_zone_map, build_zone_maps
 
 __all__ = [
     "Chunk",
@@ -32,7 +33,10 @@ __all__ = [
     "RawFloatColumn",
     "RleColumn",
     "StorageStats",
+    "ZoneMap",
     "bits_needed",
+    "build_zone_map",
+    "build_zone_maps",
     "collect_stats",
     "compress",
     "deserialize",

@@ -13,7 +13,7 @@ Within a chunk, data is stored column by column:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.storage.delta import DeltaEncodedColumn
 from repro.storage.dictionary import DictEncodedColumn
 from repro.storage.raw import RawFloatColumn
 from repro.storage.rle import RleColumn
+from repro.storage.zonemap import ZoneMap
 
 #: Any encoded non-user column segment.
 EncodedColumn = DictEncodedColumn | DeltaEncodedColumn | RawFloatColumn
@@ -37,12 +38,15 @@ class Chunk:
         n_rows: tuples stored.
         users: RLE-encoded user column.
         columns: encoded segments for every non-user column, keyed by name.
+        zone_maps: persisted per-column zone maps (empty for chunks read
+            from version-1 files, which predate zone maps).
     """
 
     index: int
     n_rows: int
     users: RleColumn
     columns: dict[str, EncodedColumn]
+    zone_maps: dict[str, ZoneMap] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.users.n_rows != self.n_rows:
@@ -54,6 +58,21 @@ class Chunk:
                 raise StorageError(
                     f"chunk {self.index}: column {name!r} has {len(col)} "
                     f"rows, expected {self.n_rows}")
+        for name in self.zone_maps:
+            if name not in self.columns:
+                raise StorageError(
+                    f"chunk {self.index}: zone map for unknown "
+                    f"column {name!r}")
+
+    @property
+    def has_zone_maps(self) -> bool:
+        """True when this chunk carries persisted zone maps."""
+        return bool(self.zone_maps)
+
+    def zone_map(self, name: str) -> ZoneMap | None:
+        """The persisted zone map for ``name``, or None when the chunk
+        was read from a pre-zone-map (version-1) file."""
+        return self.zone_maps.get(name)
 
     @property
     def n_users(self) -> int:

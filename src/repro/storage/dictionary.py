@@ -106,6 +106,23 @@ class DictEncodedColumn:
         pos = int(np.searchsorted(gids, global_id))
         return pos < gids.size and int(gids[pos]) == global_id
 
+    def contains_any_global_id(self, global_ids) -> bool:
+        """Is *any* of ``global_ids`` present in this chunk?
+
+        Vectorized membership over the chunk dictionary — the pruning
+        check for equality/IN predicates: ``False`` proves no tuple of
+        the chunk can match any of the listed values.
+        """
+        gids = self.chunk_dict.unpack()
+        if gids.size == 0:
+            return False
+        probes = np.asarray(list(global_ids), dtype=np.int64)
+        if probes.size == 0:
+            return False
+        pos = np.searchsorted(gids, probes)
+        inside = pos < gids.size
+        return bool(np.any(gids[pos[inside]] == probes[inside]))
+
     def decode_to_global_ids(self) -> np.ndarray:
         """Per-row global ids for the whole segment (vectorized)."""
         gids = self.chunk_dict.unpack()

@@ -7,7 +7,21 @@ A ``.cohana`` file is a self-describing little-endian container::
     target_chunk_rows u64
     global dictionaries (per string column)
     global ranges       (per integer column)
-    chunks              (n_rows, RLE user column, encoded segments)
+    chunks              (n_rows, RLE user column, encoded segments,
+                         zone maps [version >= 2])
+
+Version history:
+
+* **1** — the original layout; chunks carry only their encoded segments.
+* **2** — each chunk is followed by its per-column zone maps
+  (coded-domain min/max, distinct count, null count; see
+  :mod:`repro.storage.zonemap`). The scheduler uses these to skip chunks
+  without decoding anything.
+
+:func:`deserialize` reads both versions: a version-1 file loads with
+empty ``Chunk.zone_maps``, and execution falls back to scans without
+zone-map pruning. :func:`serialize` writes version 2 by default but can
+still emit version 1 (``version=1``) for compatibility testing.
 
 The format favours simplicity and determinism over minimum size; the
 compression itself lives in the per-column encoders.
@@ -29,13 +43,20 @@ from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
 from repro.storage.raw import RawFloatColumn
 from repro.storage.reader import CompressedActivityTable
 from repro.storage.rle import RleColumn
+from repro.storage.zonemap import ZoneMap
 
 MAGIC = b"COHANA01"
-VERSION = 1
+#: Current write version. Version 2 added persisted zone maps.
+VERSION = 2
+#: Versions :func:`deserialize` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 _KIND_DICT = 0
 _KIND_DELTA = 1
 _KIND_RAW = 2
+
+_ZONE_INT = 0
+_ZONE_FLOAT = 1
 
 
 class _Writer:
@@ -61,6 +82,9 @@ class _Writer:
 
     def i64(self, v: int) -> None:
         self._parts.append(struct.pack("<q", v))
+
+    def f64(self, v: float) -> None:
+        self._parts.append(struct.pack("<d", v))
 
     def lp_str(self, text: str) -> None:
         data = text.encode("utf-8")
@@ -99,6 +123,9 @@ class _Reader:
 
     def i64(self) -> int:
         return struct.unpack("<q", self.bytes_(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.bytes_(8))[0]
 
     def lp_str(self) -> str:
         return self.bytes_(self.u32()).decode("utf-8")
@@ -165,13 +192,55 @@ def _read_column(r: _Reader):
     raise StorageError(f"unknown column kind byte: {kind}")
 
 
+# -- zone maps ----------------------------------------------------------------
+
+def _write_zone_map(w: _Writer, zm: ZoneMap) -> None:
+    if zm.is_float:
+        w.u8(_ZONE_FLOAT)
+        w.f64(float(zm.min_value))
+        w.f64(float(zm.max_value))
+    else:
+        w.u8(_ZONE_INT)
+        w.i64(int(zm.min_value))
+        w.i64(int(zm.max_value))
+    w.u64(zm.distinct_count)
+    w.u64(zm.null_count)
+
+
+def _read_zone_map(r: _Reader) -> ZoneMap:
+    kind = r.u8()
+    if kind == _ZONE_INT:
+        lo, hi = r.i64(), r.i64()
+    elif kind == _ZONE_FLOAT:
+        lo, hi = r.f64(), r.f64()
+    else:
+        raise StorageError(f"unknown zone-map value kind byte: {kind}")
+    distinct = r.u64()
+    nulls = r.u64()
+    return ZoneMap(lo, hi, distinct, nulls)
+
+
 # -- top level ----------------------------------------------------------------
 
-def serialize(table: CompressedActivityTable) -> bytes:
-    """Encode a compressed activity table to bytes."""
+def serialize(table: CompressedActivityTable,
+              version: int = VERSION) -> bytes:
+    """Encode a compressed activity table to bytes.
+
+    Args:
+        table: the table to encode.
+        version: file format version to emit. Defaults to the current
+            version; ``version=1`` writes the legacy zone-map-less
+            layout (used by compatibility tests and downgrade tooling).
+
+    Raises:
+        StorageError: on an unsupported ``version``.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise StorageError(f"cannot write .cohana version {version}; "
+                           f"supported: {SUPPORTED_VERSIONS}")
     w = _Writer()
     w.bytes_(MAGIC)
-    w.u16(VERSION)
+    w.u16(version)
     w.u32(len(table.schema))
     for spec in table.schema:
         w.lp_str(spec.name)
@@ -201,6 +270,11 @@ def serialize(table: CompressedActivityTable) -> bytes:
         for name in sorted(chunk.columns):
             w.lp_str(name)
             _write_column(w, chunk.columns[name])
+        if version >= 2:
+            w.u32(len(chunk.zone_maps))
+            for name in sorted(chunk.zone_maps):
+                w.lp_str(name)
+                _write_zone_map(w, chunk.zone_maps[name])
     return w.getvalue()
 
 
@@ -215,7 +289,7 @@ def deserialize(data: bytes) -> CompressedActivityTable:
     if r.bytes_(len(MAGIC)) != MAGIC:
         raise StorageError("not a .cohana file (bad magic)")
     version = r.u16()
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise StorageError(f"unsupported .cohana version {version}")
     n_cols = r.u32()
     specs = []
@@ -248,8 +322,13 @@ def deserialize(data: bytes) -> CompressedActivityTable:
         for _ in range(r.u32()):
             name = r.lp_str()
             columns[name] = _read_column(r)
+        zone_maps: dict[str, ZoneMap] = {}
+        if version >= 2:
+            for _ in range(r.u32()):
+                name = r.lp_str()
+                zone_maps[name] = _read_zone_map(r)
         chunks.append(Chunk(index=index, n_rows=n_rows, users=users,
-                            columns=columns))
+                            columns=columns, zone_maps=zone_maps))
     if not r.at_end():
         raise StorageError("trailing bytes after .cohana payload")
     return CompressedActivityTable(
@@ -261,9 +340,10 @@ def deserialize(data: bytes) -> CompressedActivityTable:
     )
 
 
-def save(table: CompressedActivityTable, path: str | Path) -> int:
+def save(table: CompressedActivityTable, path: str | Path,
+         version: int = VERSION) -> int:
     """Write ``table`` to ``path``; returns bytes written."""
-    data = serialize(table)
+    data = serialize(table, version=version)
     Path(path).write_bytes(data)
     return len(data)
 

@@ -85,6 +85,13 @@ class CompressedActivityTable:
         """The user string for a global user id."""
         return self.value_of(self.schema.user.name, global_id)
 
+    @property
+    def has_zone_maps(self) -> bool:
+        """True when every chunk carries persisted zone maps (version-2
+        files and freshly compressed tables; False for version-1 loads)."""
+        return bool(self.chunks) and all(c.has_zone_maps
+                                         for c in self.chunks)
+
     # -- pruning -------------------------------------------------------------
 
     def chunk_may_contain_action(self, chunk: Chunk,

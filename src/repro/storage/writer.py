@@ -2,7 +2,10 @@
 
 The writer implements Section 4.1 end to end: sort by primary key, build
 the global (table-level) dictionaries and ranges, partition horizontally on
-user boundaries, and encode each chunk's columns.
+user boundaries, and encode each chunk's columns. Every chunk also gets a
+per-column :class:`~repro.storage.zonemap.ZoneMap` (coded-domain min/max,
+distinct count, null count), persisted by the version-2 file format and
+consulted by the scheduler's pruning step before any decode.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.storage.dictionary import GlobalDictionary, encode_chunk_strings
 from repro.storage.raw import RawFloatColumn
 from repro.storage.reader import CompressedActivityTable
 from repro.storage.rle import encode_users
+from repro.storage.zonemap import build_zone_maps
 from repro.table import ActivityTable
 
 #: Default target tuples per chunk — the paper's choice of 256K rows,
@@ -112,4 +116,5 @@ def _encode_chunk(schema, encoded: dict[str, np.ndarray], index: int,
         n_rows=stop - start,
         users=encode_users(encoded[user_name][start:stop]),
         columns=columns,
+        zone_maps=build_zone_maps(columns),
     )

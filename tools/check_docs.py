@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Documentation link checker (stdlib only; used by the CI docs job).
+
+Scans every tracked Markdown file for inline links and validates that
+relative targets exist in the repository. External (http/https/mailto)
+links and pure in-page anchors are skipped; ``path#anchor`` links are
+checked for the path part only.
+
+Usage::
+
+    python tools/check_docs.py            # check the whole repo
+    python tools/check_docs.py README.md  # check specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: Directories never scanned for Markdown sources.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def markdown_files(args: list[str]) -> list[Path]:
+    """The files to check: CLI args, or every .md under the repo."""
+    if args:
+        return [ROOT / a for a in args]
+    return sorted(p for p in ROOT.rglob("*.md")
+                  if not (_SKIP_DIRS & set(p.relative_to(ROOT).parts)))
+
+
+def check_file(path: Path) -> list[str]:
+    """Problems found in one Markdown file (empty = clean)."""
+    problems = []
+    if not path.is_file():
+        return [f"{path}: file does not exist"]
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: broken link "
+                    f"-> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    files = markdown_files(args)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
