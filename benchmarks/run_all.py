@@ -11,9 +11,14 @@ records paper-vs-measured shape for each. Absolute numbers differ from
 the paper (pure Python + synthetic data at ~1/1000 size); orderings,
 slopes and crossovers are the reproduction target.
 
-The ``parallel`` experiment sweeps the chunk pipeline's worker count and
-additionally records its timings (with speedups, the seed, and the jobs
-sweep) in ``BENCH_parallel.json`` so the numbers are reproducible:
+The ``parallel`` experiment sweeps the chunk pipeline's worker count
+across all three backends (``serial`` / ``threads`` / ``processes``)
+over memory-mapped on-disk tables, runs the selective-scan experiment
+(a user-selective birth condition on the mmap table, all backends,
+with result-digest parity), and
+records the timings (with speedups, the seed, the jobs sweep, and the
+machine's CPU count — scaling is bounded by the hardware, so a 1-core
+container legitimately records flat curves) in ``BENCH_parallel.json``:
 ``--seed`` pins the dataset generator, ``--jobs`` sets the largest
 worker count measured.
 
@@ -34,6 +39,7 @@ from repro.bench import (
     compressed_scan_records,
     parallel_scaling,
     parallel_scaling_records,
+    selective_scan_records,
     set_default_seed,
 )
 from repro.bench.report_runner import resolve_experiments, run_and_print
@@ -50,16 +56,33 @@ def jobs_sweep(max_jobs: int) -> tuple[int, ...]:
 
 
 def run_parallel(max_jobs: int, seed: int, out: Path) -> None:
-    """Run the parallel-scaling sweep and record BENCH_parallel.json."""
+    """Run the parallel-scaling sweep (all backends, on-disk mmap
+    tables) plus the selective-scan experiment and record
+    BENCH_parallel.json."""
+    import os
     sweep = jobs_sweep(max_jobs)
     report = parallel_scaling(jobs_counts=sweep)
     print()
     print(report.to_text())
+    selective = selective_scan_records(jobs_counts=sweep)
+    base = next(r["seconds"] for r in selective
+                if r["backend"] == "processes" and r["jobs"] == 1)
+    print("\nselective scan (on-disk mmap table):")
+    for record in selective:
+        print(f"  {record['backend']:<10} jobs={record['jobs']}  "
+              f"{record['seconds']:.4f}s")
+    best = min((r for r in selective if r["backend"] == "processes"),
+               key=lambda r: r["seconds"])
+    print(f"  processes best: jobs={best['jobs']} "
+          f"x{base / best['seconds']:.2f} vs jobs=1 "
+          f"({os.cpu_count()} cpus visible)")
     payload = {
         "experiment": "parallel_scaling",
         "seed": seed,
         "jobs": list(sweep),
+        "cpus": os.cpu_count(),
         "records": parallel_scaling_records(report),
+        "selective_scan": selective,
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[parallel results written to {out}]")

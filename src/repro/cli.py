@@ -58,8 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel scan workers (default 1)")
     p.add_argument("--backend", default=None,
-                   choices=("serial", "threads"),
-                   help="scan backend (default: threads when --jobs > 1)")
+                   choices=("serial", "threads", "processes"),
+                   help="scan backend (default with --jobs > 1: "
+                        "processes, which mmaps the .cohana file in "
+                        "each worker)")
     p.add_argument("--scan-mode", default="auto",
                    choices=("auto", "decoded", "compressed"),
                    help="predicate evaluation domain: 'compressed' "
@@ -126,7 +128,8 @@ def _dispatch(args) -> int:
         query = engine.parse(args.text, age_unit=args.age_unit,
                              time_bin_origin=origin)
         if args.explain:
-            print(engine.explain(query, scan_mode=args.scan_mode))
+            print(engine.explain(query, scan_mode=args.scan_mode,
+                                 jobs=args.jobs, backend=args.backend))
             return 0
         result = engine.query(query, executor=args.executor,
                               jobs=args.jobs, backend=args.backend,

@@ -20,14 +20,18 @@ by the selected kernel (``executor='vectorized'`` or ``'iterator'``)
 under an :class:`~repro.cohana.pipeline.ExecutionConfig`. The config can
 be given explicitly, or via the loose ``jobs`` / ``backend`` options::
 
-    result = engine.query(text, jobs=4)              # threads backend
-    result = engine.query(text, jobs=4, backend="threads")
+    result = engine.query(text, jobs=4)              # auto backend
+    result = engine.query(text, jobs=4, backend="processes")
     result = engine.query(text, scan_mode="compressed")
     result, stats = engine.query_with_stats(
         text, config=ExecutionConfig(backend="threads", jobs=2))
 
 ``ExecutionConfig(backend, jobs, collect_stats, scan_mode)`` selects the
-scan backend (``'serial'`` or ``'threads'``), the worker count, whether
+scan backend (``'serial'``, ``'threads'`` or ``'processes'`` — with
+``jobs > 1`` and no explicit backend, tables loaded from a ``.cohana``
+file get ``processes``, whose workers reopen the file by path and scan
+chunks on real cores; in-memory tables get ``threads``), the worker
+count, whether
 per-row/user counters are accumulated into ``ExecStats``, and how
 predicates are evaluated: ``scan_mode='decoded'`` materializes codes
 first (the legacy path), ``'compressed'`` evaluates in the compressed
@@ -166,19 +170,19 @@ class CohanaEngine:
         if isinstance(query, str):
             query = self.parse(query, **parse_kw)
         kernel = get_kernel(executor)
+        table = self.table(query.table)
         if config is None:
             config = ExecutionConfig.resolve(jobs=jobs, backend=backend,
                                              collect_stats=collect_stats,
-                                             scan_mode=scan_mode)
+                                             scan_mode=scan_mode,
+                                             table=table)
         elif (jobs != 1 or backend is not None or not collect_stats
                 or scan_mode != "auto"):
             raise ExecutionError(
                 "pass either config= or the loose jobs=/backend=/"
                 "collect_stats=/scan_mode= options, not both")
-        plan = plan_query(query, self.table(query.table),
-                          pushdown=pushdown, prune=prune)
-        return ChunkScheduler(self.table(query.table), plan, kernel,
-                              config).run()
+        plan = plan_query(query, table, pushdown=pushdown, prune=prune)
+        return ChunkScheduler(table, plan, kernel, config).run()
 
     def query(self, query: CohortQuery | str,
               executor: str = "vectorized", **kw) -> CohortResult:
@@ -188,7 +192,25 @@ class CohanaEngine:
 
     def explain(self, query: CohortQuery | str, pushdown: bool = True,
                 prune: bool = True, scan_mode: str = "auto",
+                jobs: int = 1, backend: str | None = None,
+                config: ExecutionConfig | None = None,
                 **parse_kw) -> str:
-        """A textual plan description (EXPLAIN)."""
-        return self.plan(query, pushdown=pushdown, prune=prune,
-                         scan_mode=scan_mode, **parse_kw).describe()
+        """A textual plan description (EXPLAIN).
+
+        Includes the resolved :class:`ExecutionConfig` line, so the
+        ``jobs`` / ``backend`` / ``scan_mode`` a query would run with
+        are visible without executing it.
+        """
+        if isinstance(query, str):
+            query = self.parse(query, **parse_kw)
+        if config is None:
+            config = ExecutionConfig.resolve(
+                jobs=jobs, backend=backend, scan_mode=scan_mode,
+                table=self.table(query.table))
+        elif jobs != 1 or backend is not None or scan_mode != "auto":
+            raise ExecutionError(
+                "pass either config= or the loose jobs=/backend=/"
+                "scan_mode= options, not both")
+        plan = self.plan(query, pushdown=pushdown, prune=prune,
+                         scan_mode=config.scan_mode)
+        return f"{plan.describe()}\n{config.describe()}"

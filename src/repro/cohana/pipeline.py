@@ -14,9 +14,24 @@ instead of each executor hand-rolling its own chunk loop:
   ``(table, chunk, plan) -> ChunkPartial``. The ``vectorized`` and
   ``iterator`` executors register themselves here and contain *only*
   per-chunk logic;
-* :class:`ExecutionConfig` selects the backend (``serial`` or ``threads``
-  via :mod:`concurrent.futures`), the worker count, and the ``scan_mode``
-  (``decoded`` | ``compressed`` | ``auto``).
+* :class:`ExecutionConfig` selects the backend (``serial``, ``threads``
+  or ``processes`` via :mod:`concurrent.futures`), the worker count, and
+  the ``scan_mode`` (``decoded`` | ``compressed`` | ``auto``).
+
+The ``processes`` backend sidesteps the GIL entirely: the parent never
+ships chunk data to workers — each task is just ``(path, kernel name,
+plan, chunk index)``, the worker reopens the ``.cohana`` file by path
+(memory-mapped and lazy for version-3 files, so it deserializes only the
+chunks it actually scans) and returns a :class:`ChunkPartial`. Only
+picklable partial aggregates cross the process boundary, and the
+streaming merge stays single-threaded in the parent, exactly as in the
+other backends. It therefore requires a table with a ``source_path``
+(loaded from disk, not built in memory). Two deliberate costs of the
+current design: the parent's pruning pass touches every chunk's
+metadata, which on a lazy table parses each chunk once in the parent,
+and the pool lives for one query, so worker-side table caches do not
+survive across queries — a resident worker pool is the obvious next
+step if query-dispatch overhead ever dominates.
 
 Pruning is metadata-exact, not heuristic: every skip is proven from
 persisted storage metadata — the action chunk dictionary, the birth
@@ -33,7 +48,11 @@ locking is needed anywhere.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -47,7 +66,7 @@ from repro.storage.dictionary import DictEncodedColumn
 from repro.storage.reader import CompressedActivityTable
 
 #: Backends the scheduler can dispatch scan tasks through.
-BACKENDS = ("serial", "threads")
+BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass
@@ -76,8 +95,12 @@ class ExecutionConfig:
     """How the scheduler runs a plan's scan tasks.
 
     Attributes:
-        backend: ``'serial'`` (in-process loop) or ``'threads'``
-            (:class:`concurrent.futures.ThreadPoolExecutor`).
+        backend: ``'serial'`` (in-process loop), ``'threads'``
+            (:class:`concurrent.futures.ThreadPoolExecutor`) or
+            ``'processes'`` (:class:`concurrent.futures.ProcessPoolExecutor`
+            over a table loaded from a ``.cohana`` file; workers reopen
+            the file by path). An explicitly requested parallel backend
+            is honoured even at ``jobs=1``.
         jobs: worker count for parallel backends (ignored by ``serial``).
         collect_stats: accumulate the per-chunk row/user counters into
             :class:`ExecStats`; chunk-level counters are always kept.
@@ -107,13 +130,30 @@ class ExecutionConfig:
     @classmethod
     def resolve(cls, jobs: int = 1, backend: str | None = None,
                 collect_stats: bool = True,
-                scan_mode: str = "auto") -> "ExecutionConfig":
-        """Build a config from loose options: ``backend=None`` picks
-        ``threads`` when ``jobs > 1`` and ``serial`` otherwise."""
+                scan_mode: str = "auto",
+                table: "CompressedActivityTable | None" = None,
+                ) -> "ExecutionConfig":
+        """Build a config from loose options.
+
+        ``backend=None`` picks ``serial`` at ``jobs=1``; at ``jobs > 1``
+        it picks ``processes`` when ``table`` is known to live on disk
+        (it has a ``source_path``, so workers can reopen it by path) and
+        ``threads`` otherwise.
+        """
         if backend is None:
-            backend = "threads" if jobs > 1 else "serial"
+            if jobs > 1:
+                on_disk = (table is not None
+                           and getattr(table, "source_path", None))
+                backend = "processes" if on_disk else "threads"
+            else:
+                backend = "serial"
         return cls(backend=backend, jobs=jobs, collect_stats=collect_stats,
                    scan_mode=scan_mode)
+
+    def describe(self) -> str:
+        """Compact one-line rendering for EXPLAIN output."""
+        return (f"Execution(backend={self.backend}, jobs={self.jobs}, "
+                f"scan_mode={self.scan_mode})")
 
 
 @dataclass
@@ -324,6 +364,34 @@ class ScanTask:
     index: int
 
 
+#: Per-worker-process table cache: one lazy table per ``.cohana`` path,
+#: reused across every task this worker runs for its pool (pools are
+#: per-query, so the cache's useful lifetime is one query's scan).
+_WORKER_TABLES: dict[str, CompressedActivityTable] = {}
+
+
+def _scan_chunk_in_worker(path: str, kernel_name: str, plan: CohortPlan,
+                          chunk_index: int) -> ChunkPartial:
+    """Scan one chunk inside a worker process.
+
+    The task carries only the file path, the kernel name, the (picklable)
+    plan and a chunk index; the worker opens the table by path — lazily
+    memory-mapped for version-3 files, so only the chunks this worker is
+    asked to scan are ever deserialized here — and caches it for the
+    pool's lifetime.
+    """
+    table = _WORKER_TABLES.get(path)
+    if table is None:
+        # Imported here: storage.format is a leaf module, but the kernel
+        # registry is populated by the executor modules, which import
+        # this module back at their import time.
+        from repro.storage.format import load
+        from repro.cohana import iterator_executor, vectorized  # noqa: F401
+        table = _WORKER_TABLES[path] = load(path)
+    kernel = get_kernel(kernel_name)
+    return kernel.scan(table, table.chunks[chunk_index], plan)
+
+
 class ChunkScheduler:
     """Runs a plan: prune once, scan per chunk, stream-merge partials.
 
@@ -377,19 +445,53 @@ class ChunkScheduler:
                 stats)
 
     def _scan(self, tasks: list[ScanTask]):
-        """Yield ChunkPartials as scan tasks complete, per the backend."""
+        """Yield ChunkPartials as scan tasks complete, per the backend.
+
+        An explicitly requested parallel backend is honoured even at
+        ``jobs=1`` or with a single surviving task, so backend-specific
+        code paths are exercised whenever the caller asked for them;
+        only ``backend='serial'`` (or an empty task list) runs inline.
+        """
+        if not tasks:
+            return
         scan = self.kernel.scan
-        if self.config.backend == "serial" or self.config.jobs == 1 \
-                or len(tasks) <= 1:
+        if self.config.backend == "serial":
             for task in tasks:
                 yield scan(self.table, task.chunk, self.plan)
             return
         workers = min(self.config.jobs, len(tasks))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        if self.config.backend == "threads":
+            pool = ThreadPoolExecutor(max_workers=workers)
             futures = [pool.submit(scan, self.table, task.chunk, self.plan)
                        for task in tasks]
-            for future in as_completed(futures):
-                yield future.result()
+        else:
+            path = self._require_source_path()
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = [pool.submit(_scan_chunk_in_worker, path,
+                                   self.kernel.name, self.plan, task.index)
+                       for task in tasks]
+        yield from _drain_pool(pool, futures)
+
+    def _require_source_path(self) -> str:
+        path = getattr(self.table, "source_path", None)
+        if not path:
+            raise ExecutionError(
+                "the 'processes' backend needs a table loaded from a "
+                ".cohana file (workers reopen it by path); save the "
+                "table and load it, or use backend='threads'")
+        return path
+
+
+def _drain_pool(pool, futures):
+    """Yield results as futures complete; on any failure (or the
+    consumer abandoning the scan) cancel every queued task and shut the
+    pool down deterministically before the exception propagates, so no
+    orphaned worker keeps scanning after the query has already failed."""
+    try:
+        for future in as_completed(futures):
+            yield future.result()
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def execute(table: CompressedActivityTable, plan: CohortPlan,

@@ -13,6 +13,13 @@ from dataclasses import dataclass
 
 from repro.errors import QueryError
 
+#: What an empty cell renders as: a (cohort, age) bucket missing from
+#: the pivoted report, or an aggregate with nothing to aggregate
+#: (``AVG``/``MIN``/``MAX`` over zero tuples yield None). One marker,
+#: used by every text rendering, so emptiness is visible rather than
+#: blank and indistinguishable from column padding.
+EMPTY_CELL = "-"
+
 
 @dataclass
 class CohortResult:
@@ -155,9 +162,15 @@ class CohortReport:
         return "\n".join(lines)
 
 
-def _fmt(value) -> str:
+def format_cell(value) -> str:
+    """One result cell as text: None becomes :data:`EMPTY_CELL`, floats
+    drop trailing zeros. Shared by every table-text rendering (cohort
+    and relational) so the formats cannot drift apart."""
     if value is None:
-        return ""
+        return EMPTY_CELL
     if isinstance(value, float):
         return f"{value:.2f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+_fmt = format_cell

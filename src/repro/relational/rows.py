@@ -12,6 +12,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import SchemaError
+from repro.cohort.result import format_cell as _fmt
 from repro.table import ActivityTable
 
 
@@ -117,9 +118,3 @@ def _to_python(value):
     return value
 
 
-def _fmt(value) -> str:
-    if value is None:
-        return ""
-    if isinstance(value, float):
-        return f"{value:.2f}".rstrip("0").rstrip(".")
-    return str(value)

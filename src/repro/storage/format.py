@@ -7,8 +7,11 @@ A ``.cohana`` file is a self-describing little-endian container::
     target_chunk_rows u64
     global dictionaries (per string column)
     global ranges       (per integer column)
+    n_chunks u32
     chunks              (n_rows, RLE user column, encoded segments,
                          zone maps [version >= 2])
+    chunk index         (offset u64, length u64 per chunk [version >= 3])
+    index offset u64    (position of the chunk index [version >= 3])
 
 Version history:
 
@@ -17,11 +20,18 @@ Version history:
   (coded-domain min/max, distinct count, null count; see
   :mod:`repro.storage.zonemap`). The scheduler uses these to skip chunks
   without decoding anything.
+* **3** — the file ends with a per-chunk byte-offset index (and the
+  index's own offset in the trailing 8 bytes), making the format
+  memory-mappable: :func:`load` mmaps a version-3 file and returns a
+  lazy table whose chunks deserialize on first touch
+  (:class:`~repro.storage.reader.LazyChunkList`). The chunk payload
+  bytes are identical to version 2; only the index is new.
 
-:func:`deserialize` reads both versions: a version-1 file loads with
-empty ``Chunk.zone_maps``, and execution falls back to scans without
-zone-map pruning. :func:`serialize` writes version 2 by default but can
-still emit version 1 (``version=1``) for compatibility testing.
+:func:`deserialize` reads all three versions: a version-1 file loads
+with empty ``Chunk.zone_maps`` (execution falls back to scans without
+zone-map pruning), and version-1/2 files always load eagerly.
+:func:`serialize` writes version 3 by default but can still emit
+versions 1 and 2 for compatibility testing and downgrade tooling.
 
 The format favours simplicity and determinism over minimum size; the
 compression itself lives in the per-column encoders.
@@ -29,6 +39,7 @@ compression itself lives in the per-column encoders.
 
 from __future__ import annotations
 
+import mmap
 import struct
 from pathlib import Path
 
@@ -41,15 +52,18 @@ from repro.storage.chunk import Chunk
 from repro.storage.delta import DeltaEncodedColumn, GlobalRange
 from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
 from repro.storage.raw import RawFloatColumn
-from repro.storage.reader import CompressedActivityTable
+from repro.storage.reader import CompressedActivityTable, LazyChunkList
 from repro.storage.rle import RleColumn
 from repro.storage.zonemap import ZoneMap
 
 MAGIC = b"COHANA01"
-#: Current write version. Version 2 added persisted zone maps.
-VERSION = 2
+#: Current write version. Version 2 added persisted zone maps; version 3
+#: added the chunk byte-offset index that makes files memory-mappable.
+VERSION = 3
 #: Versions :func:`deserialize` understands.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+#: First version whose files can be mmapped and loaded lazily.
+MMAP_VERSION = 3
 
 _KIND_DICT = 0
 _KIND_DELTA = 1
@@ -220,6 +234,58 @@ def _read_zone_map(r: _Reader) -> ZoneMap:
     return ZoneMap(lo, hi, distinct, nulls)
 
 
+# -- chunks -------------------------------------------------------------------
+
+def _write_chunk(w: _Writer, chunk: Chunk, version: int) -> None:
+    w.u64(chunk.n_rows)
+    _write_packed(w, chunk.users.user_ids)
+    _write_packed(w, chunk.users.starts)
+    _write_packed(w, chunk.users.counts)
+    w.u32(len(chunk.columns))
+    for name in sorted(chunk.columns):
+        w.lp_str(name)
+        _write_column(w, chunk.columns[name])
+    if version >= 2:
+        w.u32(len(chunk.zone_maps))
+        for name in sorted(chunk.zone_maps):
+            w.lp_str(name)
+            _write_zone_map(w, chunk.zone_maps[name])
+
+
+def _read_chunk(r: _Reader, index: int, version: int) -> Chunk:
+    n_rows = r.u64()
+    users = RleColumn(
+        user_ids=_read_packed(r),
+        starts=_read_packed(r),
+        counts=_read_packed(r),
+        n_rows=n_rows,
+    )
+    columns = {}
+    for _ in range(r.u32()):
+        name = r.lp_str()
+        columns[name] = _read_column(r)
+    zone_maps: dict[str, ZoneMap] = {}
+    if version >= 2:
+        for _ in range(r.u32()):
+            name = r.lp_str()
+            zone_maps[name] = _read_zone_map(r)
+    return Chunk(index=index, n_rows=n_rows, users=users,
+                 columns=columns, zone_maps=zone_maps)
+
+
+def _parse_chunk_blob(blob: bytes, index: int, version: int) -> Chunk:
+    """Deserialize one indexed chunk payload (the lazy-load entry point).
+
+    The blob must be consumed exactly: leftover bytes mean the index and
+    the payload disagree, i.e. a corrupt file.
+    """
+    r = _Reader(blob)
+    chunk = _read_chunk(r, index, version)
+    if not r.at_end():
+        raise StorageError(f"chunk {index}: trailing bytes after payload")
+    return chunk
+
+
 # -- top level ----------------------------------------------------------------
 
 def serialize(table: CompressedActivityTable,
@@ -229,8 +295,8 @@ def serialize(table: CompressedActivityTable,
     Args:
         table: the table to encode.
         version: file format version to emit. Defaults to the current
-            version; ``version=1`` writes the legacy zone-map-less
-            layout (used by compatibility tests and downgrade tooling).
+            version; ``version=1`` / ``version=2`` write the legacy
+            layouts (used by compatibility tests and downgrade tooling).
 
     Raises:
         StorageError: on an unsupported ``version``.
@@ -261,25 +327,71 @@ def serialize(table: CompressedActivityTable,
         w.i64(rng.min_value)
         w.i64(rng.max_value)
     w.u32(len(table.chunks))
+    header = w.getvalue()
+    if version < MMAP_VERSION:
+        cw = _Writer()
+        for chunk in table.chunks:
+            _write_chunk(cw, chunk, version)
+        return header + cw.getvalue()
+    # Version >= 3: chunk payloads followed by the (offset, length)
+    # index and, in the trailing 8 bytes, the index's own offset.
+    blobs: list[bytes] = []
+    entries: list[tuple[int, int]] = []
+    offset = len(header)
     for chunk in table.chunks:
-        w.u64(chunk.n_rows)
-        _write_packed(w, chunk.users.user_ids)
-        _write_packed(w, chunk.users.starts)
-        _write_packed(w, chunk.users.counts)
-        w.u32(len(chunk.columns))
-        for name in sorted(chunk.columns):
-            w.lp_str(name)
-            _write_column(w, chunk.columns[name])
-        if version >= 2:
-            w.u32(len(chunk.zone_maps))
-            for name in sorted(chunk.zone_maps):
-                w.lp_str(name)
-                _write_zone_map(w, chunk.zone_maps[name])
-    return w.getvalue()
+        cw = _Writer()
+        _write_chunk(cw, chunk, version)
+        blob = cw.getvalue()
+        entries.append((offset, len(blob)))
+        offset += len(blob)
+        blobs.append(blob)
+    fw = _Writer()
+    for entry_offset, entry_length in entries:
+        fw.u64(entry_offset)
+        fw.u64(entry_length)
+    fw.u64(offset)  # where the index starts
+    return header + b"".join(blobs) + fw.getvalue()
 
 
-def deserialize(data: bytes) -> CompressedActivityTable:
+def _read_chunk_index(data, n_chunks: int,
+                      header_end: int) -> list[tuple[int, int]]:
+    """Parse and validate the version-3 chunk index.
+
+    The validation is deliberately strict — offsets must tile the byte
+    range between the header and the index exactly — so that any
+    truncated or spliced file fails here with a clean StorageError
+    instead of decoding garbage.
+    """
+    index_size = 16 * n_chunks + 8
+    if len(data) < header_end + index_size:
+        raise StorageError("truncated .cohana data (chunk index missing)")
+    index_offset = struct.unpack("<Q", data[-8:])[0]
+    if index_offset != len(data) - index_size or index_offset < header_end:
+        raise StorageError("corrupt .cohana chunk index offset "
+                           "(trailing or missing bytes)")
+    r = _Reader(data[index_offset:len(data) - 8])
+    entries = [(r.u64(), r.u64()) for _ in range(n_chunks)]
+    expected = header_end
+    for i, (offset, length) in enumerate(entries):
+        if offset != expected:
+            raise StorageError(f"corrupt .cohana chunk index: chunk {i} "
+                               f"at offset {offset}, expected {expected}")
+        expected = offset + length
+    if expected != index_offset:
+        raise StorageError("corrupt .cohana chunk index: payload bytes "
+                           "and index disagree")
+    return entries
+
+
+def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
     """Decode bytes produced by :func:`serialize`.
+
+    Args:
+        data: the serialized table — ``bytes`` or any buffer supporting
+            slicing (e.g. an ``mmap``).
+        lazy: defer per-chunk deserialization until first touch. Only
+            effective for version-3 payloads (older versions have no
+            chunk index and always load eagerly).
 
     Raises:
         StorageError: on a bad magic number, unsupported version, or
@@ -309,28 +421,25 @@ def deserialize(data: bytes) -> CompressedActivityTable:
     for _ in range(r.u32()):
         name = r.lp_str()
         global_ranges[name] = GlobalRange(r.i64(), r.i64())
-    chunks: list[Chunk] = []
-    for index in range(r.u32()):
-        n_rows = r.u64()
-        users = RleColumn(
-            user_ids=_read_packed(r),
-            starts=_read_packed(r),
-            counts=_read_packed(r),
-            n_rows=n_rows,
-        )
-        columns = {}
-        for _ in range(r.u32()):
-            name = r.lp_str()
-            columns[name] = _read_column(r)
-        zone_maps: dict[str, ZoneMap] = {}
-        if version >= 2:
-            for _ in range(r.u32()):
-                name = r.lp_str()
-                zone_maps[name] = _read_zone_map(r)
-        chunks.append(Chunk(index=index, n_rows=n_rows, users=users,
-                            columns=columns, zone_maps=zone_maps))
-    if not r.at_end():
-        raise StorageError("trailing bytes after .cohana payload")
+    n_chunks = r.u32()
+    chunks: list[Chunk] | LazyChunkList
+    if version >= MMAP_VERSION:
+        entries = _read_chunk_index(data, n_chunks, r._pos)
+        if lazy:
+            chunks = LazyChunkList(
+                data, entries,
+                lambda blob, index: _parse_chunk_blob(blob, index,
+                                                      version))
+        else:
+            chunks = [
+                _parse_chunk_blob(data[offset:offset + length], index,
+                                  version)
+                for index, (offset, length) in enumerate(entries)]
+    else:
+        chunks = [_read_chunk(r, index, version)
+                  for index in range(n_chunks)]
+        if not r.at_end():
+            raise StorageError("trailing bytes after .cohana payload")
     return CompressedActivityTable(
         schema=schema,
         global_dicts=global_dicts,
@@ -348,6 +457,39 @@ def save(table: CompressedActivityTable, path: str | Path,
     return len(data)
 
 
-def load(path: str | Path) -> CompressedActivityTable:
-    """Read a compressed activity table from ``path``."""
-    return deserialize(Path(path).read_bytes())
+def _peek_version(path: Path) -> int | None:
+    """The file's format version, or None when it is not a .cohana file
+    (deserialize will then raise the canonical error)."""
+    with open(path, "rb") as f:
+        head = f.read(len(MAGIC) + 2)
+    if len(head) < len(MAGIC) + 2 or head[:len(MAGIC)] != MAGIC:
+        return None
+    return struct.unpack("<H", head[len(MAGIC):])[0]
+
+
+def load(path: str | Path,
+         lazy: bool | str = "auto") -> CompressedActivityTable:
+    """Read a compressed activity table from ``path``.
+
+    Args:
+        path: the ``.cohana`` file.
+        lazy: ``'auto'`` (default) memory-maps version-3 files and
+            defers chunk deserialization to first touch; older versions
+            load eagerly. ``True`` behaves like ``'auto'`` (version-1/2
+            files have no chunk index, so eager is the only option);
+            ``False`` forces an eager in-memory load for any version.
+
+    The returned table records ``source_path``, which lets the
+    ``processes`` execution backend reopen it inside worker processes.
+    """
+    path = Path(path)
+    table = None
+    if lazy and (version := _peek_version(path)) is not None \
+            and version >= MMAP_VERSION:
+        with open(path, "rb") as f:
+            buffer = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        table = deserialize(buffer, lazy=True)
+    if table is None:
+        table = deserialize(path.read_bytes())
+    table.source_path = str(path)
+    return table

@@ -5,11 +5,22 @@ against. It owns the global dictionaries (strings), global ranges
 (integers) and the chunk list; it can decode itself back to a plain
 :class:`~repro.table.ActivityTable` (used by round-trip tests) and answers
 the pruning questions the planner asks.
+
+Tables loaded from a version-3 ``.cohana`` file are *lazy*: ``chunks``
+is a :class:`LazyChunkList` backed by a memory-mapped buffer, and each
+chunk is deserialized on first touch (then cached). Everything else —
+iteration, indexing, pruning, scanning — is oblivious to the
+distinction, so eager (v1/v2 or freshly compressed) and lazy tables
+behave identically; only the work done at load time differs. A process
+worker that scans two chunks of a hundred-chunk file parses exactly
+those two.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -21,6 +32,54 @@ from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
 from repro.table import ActivityTable
 
 
+class LazyChunkList(Sequence):
+    """A list-like chunk sequence that deserializes chunks on demand.
+
+    Holds the (typically memory-mapped) file buffer plus the per-chunk
+    ``(offset, length)`` index from the version-3 footer; ``parse`` turns
+    one chunk's byte slice into a :class:`~repro.storage.chunk.Chunk`.
+    Parsed chunks are cached, so repeated access costs nothing extra.
+    """
+
+    def __init__(self, buffer, entries: list[tuple[int, int]],
+                 parse: Callable[[bytes, int], Chunk]):
+        self._buffer = buffer
+        self._entries = entries
+        self._parse = parse
+        self._chunks: list[Chunk | None] = [None] * len(entries)
+
+    @property
+    def loaded_count(self) -> int:
+        """How many chunks have been deserialized so far."""
+        return sum(1 for c in self._chunks if c is not None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"chunk index {index} out of range")
+        chunk = self._chunks[index]
+        if chunk is None:
+            offset, length = self._entries[index]
+            blob = self._buffer[offset:offset + length]
+            chunk = self._parse(blob, index)
+            self._chunks[index] = chunk
+        return chunk
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __repr__(self) -> str:
+        return (f"LazyChunkList({len(self)} chunks, "
+                f"{self.loaded_count} loaded)")
+
+
 @dataclass
 class CompressedActivityTable:
     """A chunked, compressed activity table (the on-disk unit).
@@ -29,15 +88,22 @@ class CompressedActivityTable:
         schema: the activity schema.
         global_dicts: global dictionary per string column (incl. user).
         global_ranges: global MIN/MAX per integer column.
-        chunks: the horizontal partitions, in row order.
+        chunks: the horizontal partitions, in row order — a plain list,
+            or a :class:`LazyChunkList` for mmap-backed version-3 loads.
         target_chunk_rows: the writer's chunk-size setting.
+        source_path: the ``.cohana`` file this table was loaded from, or
+            None for in-memory tables. The ``processes`` execution
+            backend uses it to reopen the table inside worker processes
+            (only chunk indices and partial aggregates cross the process
+            boundary, never chunk data).
     """
 
     schema: ActivitySchema
     global_dicts: dict[str, GlobalDictionary]
     global_ranges: dict[str, GlobalRange]
-    chunks: list[Chunk]
+    chunks: list[Chunk] | LazyChunkList
     target_chunk_rows: int
+    source_path: str | None = field(default=None, compare=False)
 
     @property
     def n_rows(self) -> int:
@@ -53,6 +119,11 @@ class CompressedActivityTable:
     @property
     def n_chunks(self) -> int:
         return len(self.chunks)
+
+    @property
+    def is_lazy(self) -> bool:
+        """True when chunks deserialize on first touch (mmap-backed)."""
+        return isinstance(self.chunks, LazyChunkList)
 
     @property
     def nbytes(self) -> int:

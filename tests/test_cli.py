@@ -73,6 +73,31 @@ class TestQuery:
         assert main(["query", str(demo_cohana), QUERY, "--explain"]) == 0
         out = capsys.readouterr().out
         assert "TableScan" in out
+        assert "Execution(backend=serial, jobs=1, scan_mode=auto)" in out
+
+    def test_query_explain_shows_jobs_and_backend(self, demo_cohana,
+                                                  capsys):
+        """--explain reflects --jobs/--backend instead of ignoring them;
+        jobs>1 on an on-disk table auto-resolves to processes."""
+        assert main(["query", str(demo_cohana), QUERY, "--explain",
+                     "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Execution(backend=processes, jobs=4" in out
+        assert main(["query", str(demo_cohana), QUERY, "--explain",
+                     "--jobs", "2", "--backend", "threads",
+                     "--scan-mode", "compressed"]) == 0
+        out = capsys.readouterr().out
+        assert "Execution(backend=threads, jobs=2, " \
+               "scan_mode=compressed)" in out
+
+    def test_query_processes_backend_matches_serial(self, demo_cohana,
+                                                    capsys):
+        assert main(["query", str(demo_cohana), QUERY,
+                     "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["query", str(demo_cohana), QUERY, "--jobs", "2",
+                     "--backend", "processes"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_query_iterator_matches_vectorized(self, demo_cohana,
                                                capsys):

@@ -1,0 +1,280 @@
+"""Process-parallel scan backend + mmap format v3 tests.
+
+Covers the PR-3 surface: backend parity (serial/threads/processes at
+jobs 1/2/4) over an on-disk table, deterministic pool cleanup on kernel
+failure, explicit backends honoured at jobs=1, v1/v2/v3 format
+round-trips, and lazy (mmap) vs eager reader equality.
+
+``COHANA_TEST_JOBS`` (used by the CI matrix) overrides the largest
+worker count the parity sweep exercises.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ExecutionError, StorageError
+from repro.cohana import ChunkScheduler, CohanaEngine, ExecutionConfig
+from repro.cohana import pipeline
+from repro.cohana.pipeline import ChunkKernel, ChunkPartial, KERNELS, \
+    register_kernel
+from repro.datagen import GameConfig, generate
+from repro.storage import compress, deserialize, load, save, serialize
+from repro.storage.format import MMAP_VERSION, SUPPORTED_VERSIONS, VERSION
+from repro.workloads import MAIN_QUERIES
+
+from helpers import make_table1
+
+TABLE = "GameActions"
+
+#: The default sweep stays cheap (1 and 2 workers); the CI matrix leg
+#: sets COHANA_TEST_JOBS=4 to extend it to real 4-way parallelism.
+ENV_JOBS = int(os.environ.get("COHANA_TEST_JOBS", "0") or "0")
+JOBS = tuple(sorted({1, 2} | ({ENV_JOBS} if ENV_JOBS > 1 else set())))
+
+
+def _game_table():
+    return generate(GameConfig(n_users=57, seed=7))
+
+
+@pytest.fixture(scope="module")
+def cohana_path(tmp_path_factory):
+    """The game dataset compressed and saved as a (v3) .cohana file."""
+    path = tmp_path_factory.mktemp("proc") / "game.cohana"
+    save(compress(_game_table(), target_chunk_rows=512), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def disk_engine(cohana_path):
+    eng = CohanaEngine()
+    eng.load_table(TABLE, cohana_path)
+    return eng
+
+
+class TestBackendParity:
+    """Identical rows from every backend at every worker count."""
+
+    @pytest.mark.parametrize("qname", sorted(MAIN_QUERIES))
+    @pytest.mark.parametrize("backend",
+                             ("serial", "threads", "processes"))
+    def test_workload_rows_match_serial(self, disk_engine, backend,
+                                        qname):
+        text = MAIN_QUERIES[qname](TABLE)
+        base = disk_engine.query(text, jobs=1, backend="serial")
+        jobs = max(JOBS)
+        got = disk_engine.query(text, jobs=jobs, backend=backend)
+        assert got.rows == base.rows
+        assert got.columns == base.columns
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_processes_stats_match_serial(self, disk_engine, jobs):
+        text = MAIN_QUERIES["Q1"](TABLE)
+        _, serial = disk_engine.query_with_stats(text, backend="serial")
+        _, procs = disk_engine.query_with_stats(text, jobs=jobs,
+                                                backend="processes")
+        assert procs == serial
+        assert procs.chunks_scanned > 1
+
+    def test_iterator_kernel_through_processes(self, disk_engine):
+        text = MAIN_QUERIES["Q1"](TABLE)
+        base = disk_engine.query(text, executor="iterator")
+        got = disk_engine.query(text, executor="iterator", jobs=2,
+                                backend="processes")
+        assert got.rows == base.rows
+
+
+class TestBackendResolution:
+    def test_auto_prefers_processes_for_on_disk_tables(self,
+                                                       disk_engine):
+        table = disk_engine.table(TABLE)
+        assert ExecutionConfig.resolve(jobs=4, table=table).backend \
+            == "processes"
+        assert ExecutionConfig.resolve(jobs=1, table=table).backend \
+            == "serial"
+
+    def test_auto_falls_back_to_threads_in_memory(self):
+        eng = CohanaEngine()
+        table = eng.create_table("D", make_table1())
+        assert ExecutionConfig.resolve(jobs=4, table=table).backend \
+            == "threads"
+
+    def test_explain_rejects_config_plus_loose_options(self,
+                                                       disk_engine):
+        with pytest.raises(ExecutionError, match="not both"):
+            disk_engine.explain(MAIN_QUERIES["Q1"](TABLE), jobs=4,
+                                config=ExecutionConfig())
+
+    def test_processes_needs_source_path(self):
+        eng = CohanaEngine()
+        eng.create_table("D", make_table1(), target_chunk_rows=4)
+        q = ('SELECT country, COHORTSIZE, AGE, UserCount() FROM D '
+             'BIRTH FROM action = "launch" COHORT BY country')
+        with pytest.raises(ExecutionError, match="source|path|file"):
+            eng.query(q, jobs=2, backend="processes")
+
+    @pytest.mark.parametrize("backend,pool",
+                             [("threads", "ThreadPoolExecutor"),
+                              ("processes", "ProcessPoolExecutor")])
+    def test_explicit_backend_honoured_at_jobs_1(self, disk_engine,
+                                                 monkeypatch, backend,
+                                                 pool):
+        """jobs=1 must not silently fall back to the serial loop when a
+        parallel backend was requested explicitly."""
+        used = []
+        real = getattr(pipeline, pool)
+
+        class Spy(real):
+            def __init__(self, *args, **kw):
+                used.append(pool)
+                super().__init__(*args, **kw)
+
+        monkeypatch.setattr(pipeline, pool, Spy)
+        text = MAIN_QUERIES["Q1"](TABLE)
+        base = disk_engine.query(text, backend="serial")
+        got = disk_engine.query(text, jobs=1, backend=backend)
+        assert got.rows == base.rows
+        assert used == [pool]
+
+
+# -- error injection ---------------------------------------------------------
+
+_BOOM_CALLS = []
+
+
+def _boom_scan(table, chunk, plan):
+    _BOOM_CALLS.append(chunk.index)
+    raise ExecutionError("injected kernel failure")
+
+
+@pytest.fixture
+def boom_kernel():
+    register_kernel(ChunkKernel(name="boom", scan=_boom_scan))
+    _BOOM_CALLS.clear()
+    try:
+        yield "boom"
+    finally:
+        del KERNELS["boom"]
+
+
+class TestErrorCleanup:
+    def test_threads_cancels_queued_tasks(self, disk_engine,
+                                          boom_kernel):
+        """With one worker, the first task's failure must cancel every
+        queued task before the error propagates — no stragglers keep
+        scanning after the query has failed."""
+        table = disk_engine.table(TABLE)
+        plan = disk_engine.plan(MAIN_QUERIES["Q1"](TABLE))
+        config = ExecutionConfig(backend="threads", jobs=1)
+        scheduler = ChunkScheduler(table, plan, boom_kernel, config)
+        assert len(scheduler.tasks()) > 1
+        with pytest.raises(ExecutionError, match="injected"):
+            scheduler.run()
+        assert len(_BOOM_CALLS) == 1
+
+    def test_serial_propagates(self, disk_engine, boom_kernel):
+        with pytest.raises(ExecutionError, match="injected"):
+            disk_engine.query(MAIN_QUERIES["Q1"](TABLE),
+                              executor="boom")
+        assert len(_BOOM_CALLS) == 1
+
+    def test_processes_propagates_worker_errors(self, disk_engine,
+                                                boom_kernel):
+        """Kernel exceptions cross the process boundary intact (the
+        fork start method inherits the test kernel registration)."""
+        import multiprocessing
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork inheritance of the test kernel")
+        with pytest.raises(ExecutionError, match="injected"):
+            disk_engine.query(MAIN_QUERIES["Q1"](TABLE),
+                              executor="boom", jobs=2,
+                              backend="processes")
+
+
+# -- format v3 / lazy reader -------------------------------------------------
+
+
+class TestFormatV3:
+    def test_current_version_is_mmapable(self):
+        assert VERSION >= MMAP_VERSION
+        assert set(SUPPORTED_VERSIONS) == {1, 2, 3}
+
+    @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
+    def test_round_trip_every_version(self, version):
+        table = make_table1()
+        compressed = compress(table, target_chunk_rows=4)
+        back = deserialize(serialize(compressed, version=version))
+        assert back.decompress() == table
+
+    def test_v3_to_v2_to_v1_downgrade_chain(self):
+        table = make_table1()
+        compressed = compress(table, target_chunk_rows=4)
+        v3 = deserialize(serialize(compressed, version=3))
+        v2 = deserialize(serialize(v3, version=2))
+        v1 = deserialize(serialize(v2, version=1))
+        assert v2.decompress() == table
+        assert v1.decompress() == table
+        assert v3.has_zone_maps and v2.has_zone_maps
+        assert not v1.has_zone_maps
+
+    def test_lazy_load_defers_chunk_parsing(self, tmp_path):
+        path = tmp_path / "t.cohana"
+        save(compress(make_table1(), target_chunk_rows=4), path)
+        lazy = load(path)
+        assert lazy.is_lazy
+        assert lazy.chunks.loaded_count == 0
+        lazy.chunks[0]
+        assert lazy.chunks.loaded_count == 1
+        assert lazy.source_path == str(path)
+
+    def test_lazy_equals_eager(self, tmp_path):
+        path = tmp_path / "t.cohana"
+        table = _game_table()
+        save(compress(table, target_chunk_rows=512), path)
+        lazy = load(path)
+        eager = load(path, lazy=False)
+        assert lazy.is_lazy and not eager.is_lazy
+        assert lazy.n_chunks == eager.n_chunks
+        assert lazy.n_rows == eager.n_rows
+        assert lazy.decompress() == eager.decompress() == \
+            table.sorted_by_primary_key()
+
+    def test_lazy_query_parity(self, tmp_path):
+        path = tmp_path / "t.cohana"
+        save(compress(_game_table(), target_chunk_rows=512), path)
+        text = MAIN_QUERIES["Q1"](TABLE)
+        lazy_eng, eager_eng = CohanaEngine(), CohanaEngine()
+        lazy_eng.register(TABLE, load(path))
+        eager_eng.register(TABLE, load(path, lazy=False))
+        assert lazy_eng.query(text).rows == eager_eng.query(text).rows
+
+    @pytest.mark.parametrize("version", (1, 2))
+    def test_old_versions_load_eagerly(self, tmp_path, version):
+        path = tmp_path / "t.cohana"
+        table = make_table1()
+        save(compress(table, target_chunk_rows=4), path,
+             version=version)
+        loaded = load(path)
+        assert not loaded.is_lazy
+        assert loaded.source_path == str(path)
+        assert loaded.decompress() == table
+
+    def test_v2_file_still_feeds_processes_backend(self, tmp_path):
+        """The processes backend only needs a path — eager-loading v2
+        files work too; v3 just makes the workers' loads lazy."""
+        path = tmp_path / "t.cohana"
+        save(compress(_game_table(), target_chunk_rows=512), path,
+             version=2)
+        eng = CohanaEngine()
+        eng.load_table(TABLE, path)
+        text = MAIN_QUERIES["Q1"](TABLE)
+        base = eng.query(text)
+        assert eng.query(text, jobs=2, backend="processes").rows \
+            == base.rows
+
+    def test_corrupt_index_offset_rejected(self):
+        data = bytearray(serialize(compress(make_table1(),
+                                            target_chunk_rows=4)))
+        data[-8:] = (len(data) * 2).to_bytes(8, "little")
+        with pytest.raises(StorageError, match="index"):
+            deserialize(bytes(data))

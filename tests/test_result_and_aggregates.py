@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import QueryError
 from repro.cohort import AggregateSpec, CohortResult, make_accumulator
+from repro.cohort.result import EMPTY_CELL
 from repro.cohort.aggregates import UserCountAccumulator
 from repro.cohana.aggregate import (
     ArrayAggregateTable,
@@ -78,6 +79,33 @@ class TestPivot:
             rows=[("AU", "dwarf", 2, 1, 9)], n_cohort_columns=2)
         report = result.pivot("m")
         assert report.cohort_labels == ["AU / dwarf"]
+
+
+class TestEmptyCellRendering:
+    """None cells — missing (cohort, age) buckets, or AVG/MIN/MAX over
+    zero tuples — render as the EMPTY_CELL marker, never blank or
+    'None'."""
+
+    def test_marker_is_exported(self):
+        from repro.cohort import EMPTY_CELL as exported
+        assert exported == EMPTY_CELL
+
+    def test_pivot_holes_use_marker(self, result):
+        # AU has no age-3 bucket and CN no age-2 bucket.
+        lines = result.pivot("m").to_text().splitlines()
+        au = next(l for l in lines if l.startswith("AU"))
+        cn = next(l for l in lines if l.startswith("CN"))
+        assert au.split("|")[1].split() == ["50", "100", EMPTY_CELL]
+        assert cn.split("|")[1].split() == ["10", EMPTY_CELL, "30"]
+        assert "None" not in au and "None" not in cn
+
+    def test_relation_none_measure_uses_marker(self):
+        rel = CohortResult(
+            columns=["country", "cohort_size", "age", "avg_gold"],
+            rows=[("AU", 3, 1, None)])
+        line = rel.to_text().splitlines()[-1]
+        assert EMPTY_CELL in line.split()
+        assert "None" not in line
 
 
 class TestAccumulators:
