@@ -1,0 +1,73 @@
+"""Query-service result cache: cold admission vs cached serving.
+
+Measures :class:`repro.service.QueryService` over a memory-mapped
+on-disk table: a *cold* call pays parse/fingerprint + plan + chunk scan
++ merge (a cache ``miss``); a *warm* call is served straight from the
+LRU result cache (a ``hit``). The acceptance bar recorded in
+``BENCH_service.json`` is a >= 10x hit-vs-cold speedup with identical
+result digests — the measured gap is usually orders of magnitude.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_service_cache.py`` — pytest-benchmark
+  timings, one benchmark per (query, temperature);
+* ``PYTHONPATH=src python benchmarks/bench_service_cache.py`` — the
+  figure-style report on stdout.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine_on_disk
+from repro.bench.experiments import TABLE, selective_scan_query
+from repro.service import QueryService
+from repro.workloads import MAIN_QUERIES
+
+SCALE = 4
+CHUNK_ROWS = 1024
+QUERIES = {
+    "Q1": lambda: MAIN_QUERIES["Q1"](TABLE),
+    "Q4": lambda: MAIN_QUERIES["Q4"](TABLE),
+    "selective_scan": selective_scan_query,
+}
+
+
+@pytest.fixture(scope="module")
+def service():
+    return QueryService(cohana_engine_on_disk(SCALE, CHUNK_ROWS))
+
+
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_cold_admission(benchmark, service, qname):
+    text = QUERIES[qname]()
+    benchmark.extra_info.update(figure="service_cache", query=qname,
+                                temperature="cold", scale=SCALE)
+
+    def cold():
+        service.clear()
+        return service.query(text)
+
+    result = benchmark(cold)
+    assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_cached_hit(benchmark, service, qname):
+    text = QUERIES[qname]()
+    cold_result = service.query(text)  # warm the cache
+    benchmark.extra_info.update(figure="service_cache", query=qname,
+                                temperature="hit", scale=SCALE)
+    result = benchmark(service.query, text)
+    assert result.rows == cold_result.rows
+    _, stats = service.query_with_stats(text)
+    assert stats.cache_disposition == "hit"
+
+
+def main() -> int:
+    from repro.bench import service_cache
+
+    print(service_cache(scale=SCALE, chunk_rows=CHUNK_ROWS).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,6 @@ Table 3 is the cohort version (weekly launch cohorts × age). The
 benchmark regenerates both; ``examples/shopping_trend.py`` prints them.
 """
 
-import pytest
 
 from repro.bench import cohana_engine, dataset
 from repro.bench.experiments import TABLE, _START

@@ -40,6 +40,7 @@ from repro.bench import (
     parallel_scaling,
     parallel_scaling_records,
     selective_scan_records,
+    service_cache_records,
     set_default_seed,
 )
 from repro.bench.report_runner import resolve_experiments, run_and_print
@@ -142,6 +143,37 @@ def run_compressed(seed: int, out: Path, scale: int = 8,
     print(f"\n[compressed-scan results written to {out}]")
 
 
+def run_service(seed: int, out: Path, scale: int = 8,
+                chunk_rows: int = 1024, repeat: int = 5) -> None:
+    """Run the query-service cache experiment (cold admission vs
+    result-cache hit, digest parity against the direct engine) and
+    record BENCH_service.json."""
+    records = service_cache_records(scale=scale, chunk_rows=chunk_rows,
+                                    repeat=repeat)
+    parity_ok = all(r["digest_parity"] for r in records)
+    speedup_ok = all(r["speedup"] is not None and r["speedup"] >= 10.0
+                     for r in records)
+    print("\nquery-service result cache (cold miss vs cached hit):")
+    for record in records:
+        print(f"  {record['query']:<16} cold {record['cold_seconds']:.5f}s"
+              f"  cached {record['warm_seconds']:.6f}s"
+              f"  x{record['speedup']:.0f}"
+              f"  [{record['warm_disposition']}]")
+    print(f"  digest parity: {'OK' if parity_ok else 'MISMATCH'}; "
+          f"cached >= 10x cold: {'yes' if speedup_ok else 'NO'}")
+    payload = {
+        "experiment": "service_cache",
+        "seed": seed,
+        "scale": scale,
+        "chunk_rows": chunk_rows,
+        "records": records,
+        "parity_ok": parity_ok,
+        "speedup_ok": speedup_ok,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[service-cache results written to {out}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the paper's figure experiments")
@@ -162,6 +194,15 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_compressed.json",
                         help="where the compressed-scan experiment "
                              "records its timings")
+    parser.add_argument("--service-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json",
+                        help="where the service-cache experiment "
+                             "records its timings")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="override the dataset scale of the "
+                             "compressed/service experiments (smoke "
+                             "runs use a small value)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -173,7 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    figures = [n for n in selected if n not in ("parallel", "compressed")]
+    recorded = ("parallel", "compressed", "service")
+    figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
         if code:
@@ -181,7 +223,11 @@ def main(argv: list[str] | None = None) -> int:
     if "parallel" in selected:
         run_parallel(args.jobs, args.seed, args.out)
     if "compressed" in selected:
-        run_compressed(args.seed, args.compressed_out)
+        run_compressed(args.seed, args.compressed_out,
+                       **({"scale": args.scale} if args.scale else {}))
+    if "service" in selected:
+        run_service(args.seed, args.service_out,
+                    **({"scale": args.scale} if args.scale else {}))
     return 0
 
 

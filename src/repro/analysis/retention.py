@@ -65,7 +65,7 @@ class RetentionMatrix:
         """The retention triangle as percentages."""
         ages = self.ages[:max_ages]
         label_w = max([len("cohort")]
-                      + [len(f"{l} ({s})") for l, s in
+                      + [len(f"{name} ({size})") for name, size in
                          zip(self.cohort_labels, self.cohort_sizes)])
         head = ("cohort".ljust(label_w) + " | "
                 + "  ".join(f"{a:>4}" for a in ages))

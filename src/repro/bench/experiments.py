@@ -487,6 +487,85 @@ def compressed_scan(scale: int = 8, chunk_rows: int = 1024,
 
 
 # ---------------------------------------------------------------------------
+# Query-service result cache (ours): cold vs cached serving
+# ---------------------------------------------------------------------------
+
+
+def service_cache_records(scale: int = 8, chunk_rows: int = 1024,
+                          repeat: int = 5) -> list[dict]:
+    """Cold vs cached serving through :class:`repro.service.QueryService`.
+
+    For each workload query: the *cold* time is a full admission with an
+    empty cache (parse/fingerprint + plan + chunk scan + merge, i.e. a
+    ``miss``), the *warm* time is the same call served from the result
+    cache (a ``hit``). Each record carries both digests — the hit must
+    be byte-identical to the direct engine execution, or the cache is
+    returning fiction faster.
+    """
+    import hashlib
+
+    from repro.service import QueryService
+
+    engine = cohana_engine_on_disk(scale, chunk_rows)
+    service = QueryService(engine)
+    queries = {
+        "Q1": _main_query("Q1"),
+        "Q4": _main_query("Q4"),
+        "selective_scan": selective_scan_query(),
+    }
+    records = []
+    for qname, text in queries.items():
+        bound = engine.parse(text)
+        direct = engine.query(bound)
+        direct_digest = hashlib.sha256(
+            repr(direct.rows).encode()).hexdigest()[:16]
+
+        def cold_run():
+            service.clear()
+            return service.query(bound)
+
+        cold_seconds = time_call(cold_run, repeat=repeat)
+        # The last cold run left the cache warm; every call below hits.
+        warm_result, warm_stats = service.query_with_stats(bound)
+        warm_seconds = time_call(lambda: service.query(bound),
+                                 repeat=repeat)
+        warm_digest = hashlib.sha256(
+            repr(warm_result.rows).encode()).hexdigest()[:16]
+        records.append({
+            "query": qname,
+            "scale": scale,
+            "chunk_rows": chunk_rows,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": (round(cold_seconds / warm_seconds, 2)
+                        if warm_seconds else None),
+            "warm_disposition": warm_stats.cache_disposition,
+            "result_digest_direct": direct_digest,
+            "result_digest_cached": warm_digest,
+            "digest_parity": warm_digest == direct_digest,
+        })
+    return records
+
+
+def service_cache(scale: int = 8, chunk_rows: int = 1024,
+                  repeat: int = 5) -> Report:
+    """Figure-style report: cold vs cached seconds per query."""
+    report = Report(title="Query-service result cache: cold vs cached "
+                          f"(scale={scale}, chunk={chunk_rows})",
+                    x_label="query", y_label="seconds")
+    records = service_cache_records(scale=scale, chunk_rows=chunk_rows,
+                                    repeat=repeat)
+    cold = report.series_named("cold (miss)")
+    warm = report.series_named("cached (hit)")
+    speedup = report.series_named("speedup (x)")
+    for record in records:
+        cold.add(record["query"], round(record["cold_seconds"], 6))
+        warm.add(record["query"], round(record["warm_seconds"], 6))
+        speedup.add(record["query"], record["speedup"])
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Ablations (ours): executor / push-down / pruning
 # ---------------------------------------------------------------------------
 
@@ -524,4 +603,5 @@ EXPERIMENTS = {
     "ablations": ablations,
     "parallel": parallel_scaling,
     "compressed": compressed_scan,
+    "service": service_cache,
 }

@@ -5,7 +5,10 @@ Commands:
 * ``generate`` — write the synthetic mobile-game dataset to CSV;
 * ``compress`` — compress an activity CSV into a ``.cohana`` file;
 * ``inspect``  — print storage statistics of a ``.cohana`` file;
-* ``query``    — run a cohort query against a ``.cohana`` file;
+* ``query``    — run a cohort query against a ``.cohana`` file
+  (through the caching query service; ``--no-cache`` bypasses it);
+* ``serve``    — serve queries from stdin against a ``.cohana`` file:
+  a REPL on a terminal, a concurrent batch reader on piped input;
 * ``bench``    — regenerate the paper's evaluation figures.
 
 The CSV commands assume the benchmark's game schema (player / time /
@@ -17,12 +20,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.cohana import CohanaEngine
 from repro.cohana.parser import parse_cohort_query
 from repro.datagen import GameConfig, game_schema, generate, scale_dataset
 from repro.errors import ReproError
 from repro.schema import parse_timestamp
+from repro.service import QueryService
 from repro.storage import collect_stats, compress, load, save
 from repro.table import read_csv, write_csv
 
@@ -72,9 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--origin", default=None,
                    help="time-bin origin date for COHORT BY time")
     p.add_argument("--explain", action="store_true",
-                   help="print the plan instead of executing")
+                   help="print the plan (incl. the cache disposition) "
+                        "instead of executing")
     p.add_argument("--pivot", action="store_true",
                    help="print the pivoted cohort report too")
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="route the query through the result cache "
+                        "(--no-cache executes directly; a one-shot "
+                        "process cannot hit, but --explain shows the "
+                        "disposition either way)")
+
+    p = sub.add_parser("serve", help="serve cohort queries from stdin "
+                                     "(REPL on a terminal, concurrent "
+                                     "batch on piped input)")
+    p.add_argument("input", help=".cohana path")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="admission workers for piped input: distinct "
+                        "queries run concurrently and, with the cache "
+                        "on, identical in-flight queries are "
+                        "deduplicated (default 4)")
+    p.add_argument("--executor", default="vectorized",
+                   choices=("vectorized", "iterator"))
+    p.add_argument("--scan-mode", default="auto",
+                   choices=("auto", "decoded", "compressed"))
+    p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                   default=True, help="serve repeated queries from the "
+                                      "result cache (default on)")
+    p.add_argument("--stats", action="store_true",
+                   help="print a [disposition, seconds] line after "
+                        "each query result")
+    p.add_argument("--age-unit", default="day")
+    p.add_argument("--origin", default=None,
+                   help="time-bin origin date for COHORT BY time")
 
     p = sub.add_parser("bench", help="run the figure experiments")
     p.add_argument("names", nargs="*", help="experiment names "
@@ -124,25 +159,164 @@ def _dispatch(args) -> int:
         engine = CohanaEngine()
         table_name = parse_cohort_query(args.text).table
         engine.load_table(table_name, args.input)
+        service = QueryService(engine, enabled=args.cache,
+                               executor=args.executor)
         origin = parse_timestamp(args.origin) if args.origin else 0
         query = engine.parse(args.text, age_unit=args.age_unit,
                              time_bin_origin=origin)
         if args.explain:
-            print(engine.explain(query, scan_mode=args.scan_mode,
-                                 jobs=args.jobs, backend=args.backend))
+            print(service.explain(query, scan_mode=args.scan_mode,
+                                  jobs=args.jobs, backend=args.backend))
             return 0
-        result = engine.query(query, executor=args.executor,
-                              jobs=args.jobs, backend=args.backend,
-                              scan_mode=args.scan_mode)
+        result = service.query(query, jobs=args.jobs,
+                               backend=args.backend,
+                               scan_mode=args.scan_mode)
         print(result.to_text())
         if args.pivot:
             print()
             print(result.pivot().to_text())
         return 0
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "bench":
         from repro.bench.report_runner import run_and_print
         return run_and_print(args.names)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _serve(args) -> int:
+    """The ``serve`` command: queries from stdin through the service.
+
+    On a terminal this is a small REPL (one query per line, ``.help``
+    for meta commands). On piped input, queries are parsed first and
+    then admitted as one concurrent batch per flush, so distinct
+    queries run on ``--jobs`` admission workers and identical ones are
+    deduplicated in flight.
+    """
+    import json
+
+    engine = CohanaEngine()
+    service = QueryService(engine, enabled=args.cache,
+                           executor=args.executor)
+    origin = parse_timestamp(args.origin) if args.origin else 0
+    parse_kw = dict(age_unit=args.age_unit, time_bin_origin=origin)
+
+    def bind(text: str):
+        """Parse + bind one query, loading the served file under the
+        query's FROM name on first use."""
+        name = parse_cohort_query(text).table
+        if name not in engine.tables():
+            engine.load_table(name, args.input)
+        return engine.parse(text, **parse_kw)
+
+    def run_meta(line: str) -> bool:
+        """Handle a ``.meta`` command line; False means quit."""
+        cmd, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if cmd in (".quit", ".exit"):
+            return False
+        if cmd == ".stats":
+            print(json.dumps(service.stats_snapshot(), indent=2))
+        elif cmd == ".clear":
+            service.clear()
+            print("cache cleared")
+        elif cmd == ".explain" and rest:
+            print(service.explain(bind(rest),
+                                  scan_mode=args.scan_mode))
+        elif cmd == ".help":
+            print("one cohort query per line; meta commands:\n"
+                  "  .stats            cache/service counters\n"
+                  "  .clear            drop the caches\n"
+                  "  .explain <query>  plan + cache disposition\n"
+                  "  .quit             exit")
+        else:
+            print(f"unknown meta command {cmd!r}; try .help",
+                  file=sys.stderr)
+        return True
+
+    def run_one(text: str) -> None:
+        start = time.perf_counter()
+        result, stats = service.query_with_stats(
+            bind(text), scan_mode=args.scan_mode)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        if args.stats:
+            print(f"[{stats.cache_disposition} {elapsed:.4f}s]")
+
+    if sys.stdin.isatty():  # pragma: no cover - interactive only
+        print(f"serving {args.input} "
+              f"(cache {'on' if args.cache else 'off'}); .help for help")
+        while True:
+            try:
+                line = input("cohana> ").strip()
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            if not line:
+                continue
+            try:
+                if line.startswith("."):
+                    if not run_meta(line):
+                        return 0
+                else:
+                    run_one(line.rstrip(";"))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+
+    # Piped input: batch consecutive queries, flushing at meta lines.
+    pending: list[str] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        bound = []
+        for text in pending:
+            try:
+                bound.append((text, bind(text)))
+            except ReproError as exc:
+                print(f"error: {text}: {exc}", file=sys.stderr)
+        pending.clear()
+        if not bound:
+            return
+        start = time.perf_counter()
+        try:
+            pairs = service.query_batch([q for _, q in bound],
+                                        concurrency=args.jobs,
+                                        with_stats=True,
+                                        scan_mode=args.scan_mode)
+        except ReproError as exc:
+            # One failed execution drops its batch, not the session —
+            # the same per-item policy as parse and meta errors above.
+            print(f"error: batch failed: {exc}", file=sys.stderr)
+            return
+        elapsed = time.perf_counter() - start
+        for (text, _), (result, stats) in zip(bound, pairs):
+            print(f"== {stats.cache_disposition}: {text}")
+            print(result.to_text())
+        if args.stats:
+            print(f"[batch of {len(bound)} in {elapsed:.4f}s, "
+                  f"jobs={args.jobs}]")
+
+    keep_going = True
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("."):
+            flush()
+            try:
+                if not run_meta(line):
+                    keep_going = False
+                    break
+            except ReproError as exc:
+                # A bad meta argument (e.g. `.explain <bogus query>`)
+                # must not kill the rest of the piped session.
+                print(f"error: {line}: {exc}", file=sys.stderr)
+        else:
+            pending.append(line.rstrip(";"))
+    if keep_going:
+        flush()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,8 +10,7 @@ same, and the iterator executor uses it verbatim.
 
 from __future__ import annotations
 
-from repro.cohort.aggregates import Accumulator, AggregateSpec, \
-    make_accumulator
+from repro.cohort.aggregates import AggregateSpec, make_accumulator
 
 
 class CohortCodec:

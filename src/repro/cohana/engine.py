@@ -73,12 +73,44 @@ EXECUTORS = {
 
 
 class CohanaEngine:
-    """A catalog of compressed activity tables plus the query pipeline."""
+    """A catalog of compressed activity tables plus the query pipeline.
+
+    Every registration also stamps a per-table **version token** — the
+    file's content digest for tables loaded from ``.cohana`` files, a
+    monotonically increasing counter for tables compressed in memory.
+    Re-registering a name (``create_table``/``register`` with
+    ``replace=True``, or loading a rewritten file) changes the token,
+    which is what lets the query service (:mod:`repro.service`) key its
+    result cache on ``(bound query, token)`` and never serve a result
+    computed against old data.
+    """
 
     def __init__(self):
         self._catalog: dict[str, CompressedActivityTable] = {}
+        self._versions: dict[str, str] = {}
+        self._mem_version_counter = 0
 
     # -- storage manager ------------------------------------------------------
+
+    def _stamp_version(self, name: str,
+                       table: CompressedActivityTable) -> None:
+        """Record the version token of a (re-)registered table."""
+        digest = getattr(table, "content_digest", None)
+        if digest:
+            self._versions[name] = f"sha256:{digest}"
+        else:
+            self._mem_version_counter += 1
+            self._versions[name] = f"mem:{self._mem_version_counter}"
+
+    def version_token(self, name: str) -> str:
+        """The current version token of table ``name``.
+
+        Changes whenever the registration changes (``replace=True`` or
+        a reloaded file whose bytes differ), so equality of tokens
+        implies cached results for the table are still valid.
+        """
+        self.table(name)  # raises CatalogError on unknown names
+        return self._versions[name]
 
     def create_table(self, name: str, table: ActivityTable,
                      target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
@@ -93,6 +125,7 @@ class CohanaEngine:
             raise CatalogError(f"table {name!r} already exists")
         compressed = compress(table, target_chunk_rows=target_chunk_rows)
         self._catalog[name] = compressed
+        self._stamp_version(name, compressed)
         return compressed
 
     def register(self, name: str, compressed: CompressedActivityTable,
@@ -101,11 +134,13 @@ class CohanaEngine:
         if name in self._catalog and not replace:
             raise CatalogError(f"table {name!r} already exists")
         self._catalog[name] = compressed
+        self._stamp_version(name, compressed)
 
     def drop_table(self, name: str) -> None:
         """Remove ``name`` from the catalog."""
         self.table(name)
         del self._catalog[name]
+        del self._versions[name]
 
     def table(self, name: str) -> CompressedActivityTable:
         """Look up a registered table."""

@@ -78,6 +78,16 @@ class ExecStats:
     chunk-dictionary membership on non-action birth bounds) could
     prove prunable; the invariant
     ``chunks_pruned + chunks_scanned == chunks_total`` always holds.
+
+    The ``cache_*`` counters are filled in by the query service
+    (:mod:`repro.service`) when a query goes through its result cache;
+    direct engine executions leave them at zero. ``cache_disposition``
+    records how the service answered this call: ``'hit'`` (served from
+    cache), ``'miss'`` (executed and cached), ``'bypass'`` (caching
+    disabled for the call) or ``'invalidated'`` (a cached result
+    existed but its table version token no longer matches — executed
+    and re-cached). On a hit the scan counters describe the *original*
+    cold execution that produced the cached result.
     """
 
     chunks_total: int = 0
@@ -88,6 +98,11 @@ class ExecStats:
     users_seen: int = 0
     users_qualified: int = 0
     tuples_aggregated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_disposition: str | None = None
 
 
 @dataclass(frozen=True)

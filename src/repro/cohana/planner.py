@@ -32,7 +32,7 @@ tuple lives in the same chunk as the user.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cohana.binder import split_conjuncts
 from repro.cohort.conditions import (
@@ -45,7 +45,7 @@ from repro.cohort.conditions import (
     Literal,
 )
 from repro.cohort.query import CohortQuery
-from repro.schema import ActivitySchema, ColumnRole, LogicalType
+from repro.schema import ActivitySchema, ColumnRole
 from repro.storage.chunk import encoded_column_kind
 from repro.storage.reader import CompressedActivityTable
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from repro.errors import ExecutionError
-from repro.schema import ColumnRole, LogicalType
+from repro.schema import ColumnRole
 from repro.storage.chunk import Chunk
 from repro.storage.dictionary import DictEncodedColumn
 from repro.storage.reader import CompressedActivityTable

@@ -146,7 +146,7 @@ class CohortReport:
     def to_text(self) -> str:
         """Render like the paper's Table 3 (cohort, size, age columns)."""
         label_w = max([len("cohort")]
-                      + [len(f"{l} ({s})") for l, s in
+                      + [len(f"{name} ({size})") for name, size in
                          zip(self.cohort_labels, self.cohort_sizes)])
         cols = [str(a) for a in self.ages]
         col_w = [max(6, len(c)) for c in cols]

@@ -12,7 +12,7 @@ construction on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.schema import ActivitySchema, LogicalType, parse_timestamp
 

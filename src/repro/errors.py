@@ -54,3 +54,7 @@ class ExecutionError(ReproError):
 
 class CatalogError(ReproError):
     """A table name is unknown or already registered."""
+
+
+class ServiceError(ReproError):
+    """The query service was misconfigured or misused."""

@@ -7,7 +7,6 @@ is cached so base tables are converted once.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 import numpy as np
 

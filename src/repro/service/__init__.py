@@ -1,0 +1,40 @@
+"""The caching cohort query service (serving frontend over the engine).
+
+Layering::
+
+    callers / CLI (query, serve)
+        │
+    QueryService          fingerprint → result/plan cache → admission
+        │                 (single-flight, batch concurrency)
+    CohanaEngine          catalog + version tokens
+        │
+    chunk pipeline        scheduler, kernels, backends
+
+See :mod:`repro.service.service` for the admission semantics and
+:mod:`repro.service.fingerprint` for what makes a fingerprint sound.
+"""
+
+from repro.service.cache import CacheCounters, LRUCache
+from repro.service.fingerprint import (
+    plan_fingerprint,
+    query_key,
+    result_fingerprint,
+)
+from repro.service.service import (
+    DISPOSITIONS,
+    CachedEntry,
+    QueryService,
+    ServiceCounters,
+)
+
+__all__ = [
+    "CacheCounters",
+    "CachedEntry",
+    "DISPOSITIONS",
+    "LRUCache",
+    "QueryService",
+    "ServiceCounters",
+    "plan_fingerprint",
+    "query_key",
+    "result_fingerprint",
+]

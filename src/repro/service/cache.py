@@ -1,0 +1,125 @@
+"""A thread-safe, size-bounded LRU cache with observable counters.
+
+Used twice by the query service: once for finished results, once for
+physical plans. Deliberately minimal — string keys, opaque values, a
+single lock — because the admission layer above it already provides
+single-flight deduplication, so the cache itself sees one writer per
+key at a time and contention stays low.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class CacheCounters:
+    """Monotonic counters describing a cache's lifetime behaviour.
+
+    ``hits``/``misses`` count :meth:`LRUCache.get` outcomes;
+    ``evictions`` counts entries dropped by the LRU bound;
+    ``invalidations`` counts entries removed explicitly because their
+    underlying table version changed.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations}
+
+
+class LRUCache:
+    """Least-recently-used mapping bounded to ``max_entries``.
+
+    ``get`` refreshes recency and counts a hit or miss; ``peek`` does
+    neither (used by EXPLAIN, which must not distort cache state);
+    ``put`` inserts/refreshes and returns how many entries the size
+    bound evicted, oldest first.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ServiceError(
+                f"cache needs max_entries >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.counters = CacheCounters()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str):
+        """The cached value (refreshing its recency), or None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.counters.hits += 1
+                return self._entries[key]
+            self.counters.misses += 1
+            return None
+
+    def peek(self, key: str):
+        """The cached value without touching recency or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value) -> int:
+        """Insert/refresh ``key``; returns the number of evictions."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.counters.evictions += 1
+                evicted += 1
+        return evicted
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` because its table version changed; True when an
+        entry was actually removed (and counted)."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.counters.invalidations += 1
+                return True
+            return False
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every entry whose value satisfies ``predicate``;
+        returns how many were removed (all counted as invalidations)."""
+        with self._lock:
+            doomed = [k for k, v in self._entries.items() if predicate(v)]
+            for key in doomed:
+                del self._entries[key]
+            self.counters.invalidations += len(doomed)
+            return len(doomed)
+
+    def keys(self) -> list[str]:
+        """Current keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop everything (not counted as evictions)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"LRUCache({len(self)}/{self.max_entries} entries, "
+                f"{self.counters.as_dict()})")

@@ -1,0 +1,62 @@
+"""Canonical query fingerprints for the caching service.
+
+A fingerprint must satisfy one contract: two calls get the same
+fingerprint **iff** they are guaranteed to produce the same result
+relation. Three design decisions follow:
+
+* fingerprints are computed from the **bound** :class:`CohortQuery`,
+  not the query text — parsing plus binding already normalizes
+  whitespace, case of keywords, and implicit defaults, so textual
+  variants of one query share a fingerprint;
+* the engine's per-table **version token** is folded in — the token
+  changes whenever the table registration changes (``replace=True``,
+  or a reloaded file whose content digest differs), so a stale result
+  can never be served: its fingerprint simply no longer comes up;
+* execution knobs (executor kernel, backend, jobs, scan mode,
+  push-down, pruning) are **excluded** — the pipeline guarantees
+  result parity across all of them (a property the test suite checks
+  independently), so results cached under one configuration are valid
+  answers for every other. Plans, whose shape *does* depend on those
+  knobs, get their own key (:func:`plan_fingerprint`).
+
+Bound queries are trees of frozen dataclasses (conditions, aggregate
+specs, literals), whose ``repr`` is deterministic and total — that
+``repr`` is the canonical form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cohort.query import CohortQuery
+
+#: Bump when the canonical form changes incompatibly, so fingerprints
+#: from older layouts cannot collide with current ones.
+FINGERPRINT_VERSION = 1
+
+
+def query_key(query: CohortQuery) -> str:
+    """The canonical, version-free identity of a bound query.
+
+    Two bound queries with equal keys request the same result relation
+    from the same table name; whether the cached answer is *current*
+    is decided by the version token (:func:`result_fingerprint`).
+    """
+    return f"v{FINGERPRINT_VERSION}|{query!r}"
+
+
+def result_fingerprint(query: CohortQuery, version_token: str) -> str:
+    """Result-cache key: hash of the bound query + table version token."""
+    payload = f"{version_token}|{query_key(query)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_fingerprint(query: CohortQuery, version_token: str,
+                     pushdown: bool = True, prune: bool = True,
+                     scan_mode: str = "auto") -> str:
+    """Plan-cache key: the result fingerprint's inputs plus the
+    planning knobs that shape the physical plan (push-down, pruning,
+    scan mode) — unlike results, plans differ across these."""
+    payload = (f"{version_token}|pushdown={pushdown}|prune={prune}|"
+               f"scan_mode={scan_mode}|{query_key(query)}")
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -13,7 +13,6 @@ from repro.relational.expressions import (
     Expr,
     FuncCall,
     InListExpr,
-    Star,
     UnaryNot,
     contains_aggregate,
 )

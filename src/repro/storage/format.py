@@ -3,6 +3,8 @@
 A ``.cohana`` file is a self-describing little-endian container::
 
     magic "COHANA01" | version u16
+    content digest      (32-byte SHA-256 of everything after this
+                         field [version >= 4])
     schema           (column name / type / role triples)
     target_chunk_rows u64
     global dictionaries (per string column)
@@ -26,12 +28,24 @@ Version history:
   lazy table whose chunks deserialize on first touch
   (:class:`~repro.storage.reader.LazyChunkList`). The chunk payload
   bytes are identical to version 2; only the index is new.
+* **4** — the header carries a SHA-256 content digest of the rest of
+  the file, stamped at write time. Loading a version-4 file reads the
+  table's *version token* from the header without touching the payload
+  (critical for lazy/mmap loads); the query service's result cache
+  keys on it, so rewriting a file under the same path invalidates every
+  cached result derived from the old bytes. The chunk payload bytes are
+  identical to versions 2/3; only the header field is new.
 
-:func:`deserialize` reads all three versions: a version-1 file loads
+:func:`deserialize` reads all four versions: a version-1 file loads
 with empty ``Chunk.zone_maps`` (execution falls back to scans without
-zone-map pruning), and version-1/2 files always load eagerly.
-:func:`serialize` writes version 3 by default but can still emit
-versions 1 and 2 for compatibility testing and downgrade tooling.
+zone-map pruning), version-1/2 files always load eagerly, and files
+older than version 4 get their content digest computed from the raw
+bytes at load time instead of read from the header — except version-3
+files on the lazy/mmap path, where hashing would fault in the whole
+file; those load with no digest and the engine falls back to a
+counter-based version token.
+:func:`serialize` writes version 4 by default but can still emit
+versions 1–3 for compatibility testing and downgrade tooling.
 
 The format favours simplicity and determinism over minimum size; the
 compression itself lives in the per-column encoders.
@@ -39,6 +53,7 @@ compression itself lives in the per-column encoders.
 
 from __future__ import annotations
 
+import hashlib
 import mmap
 import struct
 from pathlib import Path
@@ -58,12 +73,17 @@ from repro.storage.zonemap import ZoneMap
 
 MAGIC = b"COHANA01"
 #: Current write version. Version 2 added persisted zone maps; version 3
-#: added the chunk byte-offset index that makes files memory-mappable.
-VERSION = 3
+#: added the chunk byte-offset index that makes files memory-mappable;
+#: version 4 stamps a SHA-256 content digest into the header.
+VERSION = 4
 #: Versions :func:`deserialize` understands.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 #: First version whose files can be mmapped and loaded lazily.
 MMAP_VERSION = 3
+#: First version whose header carries the content digest.
+DIGEST_VERSION = 4
+#: Bytes of the header digest field (raw SHA-256).
+_DIGEST_BYTES = 32
 
 _KIND_DICT = 0
 _KIND_DELTA = 1
@@ -295,7 +315,7 @@ def serialize(table: CompressedActivityTable,
     Args:
         table: the table to encode.
         version: file format version to emit. Defaults to the current
-            version; ``version=1`` / ``version=2`` write the legacy
+            version; ``version=1`` .. ``version=3`` write the legacy
             layouts (used by compatibility tests and downgrade tooling).
 
     Raises:
@@ -304,9 +324,14 @@ def serialize(table: CompressedActivityTable,
     if version not in SUPPORTED_VERSIONS:
         raise StorageError(f"cannot write .cohana version {version}; "
                            f"supported: {SUPPORTED_VERSIONS}")
+    # The prefix (magic + version + digest field) is assembled last: for
+    # version >= 4 the digest covers every byte after itself, so the
+    # body must exist before the digest can be computed. Chunk-index
+    # offsets are absolute, hence they account for the prefix length.
+    prefix_len = len(MAGIC) + 2
+    if version >= DIGEST_VERSION:
+        prefix_len += _DIGEST_BYTES
     w = _Writer()
-    w.bytes_(MAGIC)
-    w.u16(version)
     w.u32(len(table.schema))
     for spec in table.schema:
         w.lp_str(spec.name)
@@ -332,25 +357,32 @@ def serialize(table: CompressedActivityTable,
         cw = _Writer()
         for chunk in table.chunks:
             _write_chunk(cw, chunk, version)
-        return header + cw.getvalue()
-    # Version >= 3: chunk payloads followed by the (offset, length)
-    # index and, in the trailing 8 bytes, the index's own offset.
-    blobs: list[bytes] = []
-    entries: list[tuple[int, int]] = []
-    offset = len(header)
-    for chunk in table.chunks:
-        cw = _Writer()
-        _write_chunk(cw, chunk, version)
-        blob = cw.getvalue()
-        entries.append((offset, len(blob)))
-        offset += len(blob)
-        blobs.append(blob)
-    fw = _Writer()
-    for entry_offset, entry_length in entries:
-        fw.u64(entry_offset)
-        fw.u64(entry_length)
-    fw.u64(offset)  # where the index starts
-    return header + b"".join(blobs) + fw.getvalue()
+        body = header + cw.getvalue()
+    else:
+        # Version >= 3: chunk payloads followed by the (offset, length)
+        # index and, in the trailing 8 bytes, the index's own offset.
+        blobs: list[bytes] = []
+        entries: list[tuple[int, int]] = []
+        offset = prefix_len + len(header)
+        for chunk in table.chunks:
+            cw = _Writer()
+            _write_chunk(cw, chunk, version)
+            blob = cw.getvalue()
+            entries.append((offset, len(blob)))
+            offset += len(blob)
+            blobs.append(blob)
+        fw = _Writer()
+        for entry_offset, entry_length in entries:
+            fw.u64(entry_offset)
+            fw.u64(entry_length)
+        fw.u64(offset)  # where the index starts
+        body = header + b"".join(blobs) + fw.getvalue()
+    pw = _Writer()
+    pw.bytes_(MAGIC)
+    pw.u16(version)
+    if version >= DIGEST_VERSION:
+        pw.bytes_(hashlib.sha256(body).digest())
+    return pw.getvalue() + body
 
 
 def _read_chunk_index(data, n_chunks: int,
@@ -390,7 +422,7 @@ def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
         data: the serialized table — ``bytes`` or any buffer supporting
             slicing (e.g. an ``mmap``).
         lazy: defer per-chunk deserialization until first touch. Only
-            effective for version-3 payloads (older versions have no
+            effective for version-3+ payloads (older versions have no
             chunk index and always load eagerly).
 
     Raises:
@@ -403,6 +435,19 @@ def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
     version = r.u16()
     if version not in SUPPORTED_VERSIONS:
         raise StorageError(f"unsupported .cohana version {version}")
+    if version >= DIGEST_VERSION:
+        content_digest = r.bytes_(_DIGEST_BYTES).hex()
+    elif lazy and version >= MMAP_VERSION:
+        # Pre-digest file on the lazy/mmap path (version 3): hashing
+        # would fault in the entire file and defeat the lazy load —
+        # leave the digest unset; the engine falls back to a monotonic
+        # counter token (correct, merely less sticky across re-loads).
+        content_digest = None
+    else:
+        # Pre-digest files loaded eagerly: the bytes are all in memory
+        # anyway, so hash them once so the loaded table still carries a
+        # stable content-derived version token.
+        content_digest = hashlib.sha256(data).hexdigest()
     n_cols = r.u32()
     specs = []
     for _ in range(n_cols):
@@ -446,6 +491,7 @@ def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
         global_ranges=global_ranges,
         chunks=chunks,
         target_chunk_rows=target_chunk_rows,
+        content_digest=content_digest,
     )
 
 

@@ -96,6 +96,12 @@ class CompressedActivityTable:
             backend uses it to reopen the table inside worker processes
             (only chunk indices and partial aggregates cross the process
             boundary, never chunk data).
+        content_digest: hex SHA-256 of the serialized payload — read
+            from the header of version-4 files, computed from the raw
+            bytes for older versions, None for tables compressed in
+            memory (the engine substitutes a monotonic counter token).
+            The query service keys its result cache on it, so a
+            rewritten file can never serve stale cached results.
     """
 
     schema: ActivitySchema
@@ -104,6 +110,7 @@ class CompressedActivityTable:
     chunks: list[Chunk] | LazyChunkList
     target_chunk_rows: int
     source_path: str | None = field(default=None, compare=False)
+    content_digest: str | None = field(default=None, compare=False)
 
     @property
     def n_rows(self) -> int:

@@ -22,7 +22,6 @@ from repro.cohort import (
     age_ref,
     attr,
     birth,
-    conjoin,
     eq,
     evaluate as oracle_evaluate,
     lit,

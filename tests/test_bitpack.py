@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import EncodingError
-from repro.storage import PackedArray, bits_needed, pack
+from repro.storage import bits_needed, pack
 
 
 class TestBitsNeeded:

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CatalogError, QueryError
-from repro.cohana import CohanaEngine, extract_time_bounds, plan_query
+from repro.errors import CatalogError
+from repro.cohana import CohanaEngine, extract_time_bounds
 from repro.cohort import (
     AggregateSpec,
     Between,
@@ -19,10 +19,9 @@ from repro.cohort import (
     evaluate as oracle_evaluate,
     lit,
 )
-from repro.schema import parse_timestamp
 from repro.table import ActivityTable
 
-from helpers import make_game_schema, make_table1
+from helpers import make_game_schema
 
 Q1_TEXT = """
 SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent

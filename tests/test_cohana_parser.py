@@ -11,7 +11,6 @@ from repro.cohort import (
     BirthRef,
     Compare,
     InList,
-    TrueCondition,
 )
 from repro.schema import parse_timestamp
 

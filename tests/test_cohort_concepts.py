@@ -1,6 +1,5 @@
 """Unit tests for Definitions 1-3: birth time, birth tuple, age."""
 
-import pytest
 
 from repro.cohort import (
     NEVER_BORN,

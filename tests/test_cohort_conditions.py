@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import QueryError
 from repro.cohort import (
-    AgeRef,
     And,
     Between,
     Compare,

@@ -18,7 +18,6 @@ from repro.cohort import (
     attr,
     birth,
     birth_select,
-    cohort_aggregate,
     conjoin,
     eq,
     evaluate,

@@ -10,7 +10,6 @@ from repro.datagen import (
     BIRTH_ACTIONS,
     COUNTRIES,
     GameConfig,
-    GameConfig as _GC,
     aging_activity,
     birth_day_weights,
     game_schema,

@@ -24,8 +24,8 @@ def col(name):
     return ColumnRef(name)
 
 
-def equi(l, r):
-    return BinaryOp("=", col(l), col(r))
+def equi(lhs, rhs):
+    return BinaryOp("=", col(lhs), col(rhs))
 
 
 class TestSplitEquiConjuncts:

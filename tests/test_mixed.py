@@ -5,7 +5,6 @@ import pytest
 from repro.errors import BindError, ParseError
 from repro.mixed import MixedEngine, is_cohort_query, split_mixed
 
-from helpers import make_table1
 
 MIXED = """
 WITH cohorts AS (

@@ -16,7 +16,7 @@ import pytest
 from repro.errors import ExecutionError, StorageError
 from repro.cohana import ChunkScheduler, CohanaEngine, ExecutionConfig
 from repro.cohana import pipeline
-from repro.cohana.pipeline import ChunkKernel, ChunkPartial, KERNELS, \
+from repro.cohana.pipeline import ChunkKernel, KERNELS, \
     register_kernel
 from repro.datagen import GameConfig, generate
 from repro.storage import compress, deserialize, load, save, serialize
@@ -197,7 +197,7 @@ class TestErrorCleanup:
 class TestFormatV3:
     def test_current_version_is_mmapable(self):
         assert VERSION >= MMAP_VERSION
-        assert set(SUPPORTED_VERSIONS) == {1, 2, 3}
+        assert set(SUPPORTED_VERSIONS) == {1, 2, 3, 4}
 
     @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
     def test_round_trip_every_version(self, version):

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CatalogError
-from repro.relational import Database, RelTable
+from repro.relational import Database
 from repro.schema import parse_timestamp
 from repro.table import ActivityTable
 

@@ -93,8 +93,8 @@ class TestEmptyCellRendering:
     def test_pivot_holes_use_marker(self, result):
         # AU has no age-3 bucket and CN no age-2 bucket.
         lines = result.pivot("m").to_text().splitlines()
-        au = next(l for l in lines if l.startswith("AU"))
-        cn = next(l for l in lines if l.startswith("CN"))
+        au = next(ln for ln in lines if ln.startswith("AU"))
+        cn = next(ln for ln in lines if ln.startswith("CN"))
         assert au.split("|")[1].split() == ["50", "100", EMPTY_CELL]
         assert cn.split("|")[1].split() == ["10", EMPTY_CELL, "30"]
         assert "None" not in au and "None" not in cn

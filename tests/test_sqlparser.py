@@ -5,9 +5,7 @@ import pytest
 from repro.errors import BindError, ParseError
 from repro.relational import (
     Aggregate,
-    BinaryOp,
     ColumnRef,
-    Const,
     Filter,
     FuncCall,
     Join,
@@ -18,7 +16,7 @@ from repro.relational import (
     SubqueryScan,
 )
 from repro.sqlparser import SqlBinder, parse_sql
-from repro.sqlparser.ast import SelectItem, StarItem, SubqueryRef, TableRef
+from repro.sqlparser.ast import StarItem, SubqueryRef, TableRef
 
 CATALOG = {
     "D": ["p", "t", "a", "c", "role", "gold"],

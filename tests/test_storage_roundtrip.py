@@ -1,12 +1,10 @@
 """Integration & property tests: compress → (serialize →) decompress."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StorageError
-from repro.schema import ActivitySchema, LogicalType
 from repro.storage import (
     collect_stats,
     compress,
@@ -17,7 +15,7 @@ from repro.storage import (
 )
 from repro.table import ActivityTable
 
-from helpers import make_game_schema, make_table1
+from helpers import make_game_schema
 
 
 class TestCompress:

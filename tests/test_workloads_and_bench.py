@@ -1,8 +1,7 @@
 """Tests for the Q1-Q8 workload texts and the bench harness."""
 
-import pytest
 
-from repro.bench import Report, Series, dataset, time_call
+from repro.bench import Report, dataset, time_call
 from repro.bench.experiments import TABLE, ablations, cohana_engine, \
     fig07_storage, prepared_system
 from repro.datagen import game_schema
@@ -113,7 +112,7 @@ class TestExperimentsSmoke:
         report = ablations(scale=1, chunk_rows=512, repeat=1)
         labels = [s.label for s in report.series]
         assert "vectorized" in labels
-        assert any("iterator" in l for l in labels)
+        assert any("iterator" in lbl for lbl in labels)
 
     def test_main_queries_run_on_benchmark_dataset(self):
         engine = cohana_engine(1, 4096)

@@ -22,7 +22,6 @@ from repro.storage.format import SUPPORTED_VERSIONS, VERSION
 from repro.storage.raw import RawFloatColumn
 from repro.workloads import MAIN_QUERIES, queries as W
 
-from helpers import make_table1
 
 TABLE = "GameActions"
 
