@@ -1,0 +1,110 @@
+"""Sharded append-only ingestion vs full single-file rewrite.
+
+Measures the two ways of absorbing one new user-disjoint batch into an
+existing table: **append** writes one new shard file and atomically
+replaces the manifest (O(new data); no existing byte is touched), while
+**rewrite** recompresses and re-saves everything seen so far as one
+``.cohana`` file (O(total data) — what a single-file table must pay).
+``BENCH_shards.json`` additionally records scan parity between the
+sharded table and the equivalent single file, and per-shard pruning
+counters; see ``benchmarks/run_all.py shards``.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_shards.py`` — pytest-benchmark timings,
+  one benchmark per ingestion path;
+* ``PYTHONPATH=src python benchmarks/bench_shards.py`` — the
+  figure-style report on stdout.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.bench import dataset
+from repro.bench.experiments import _user_batches
+from repro.storage import append_shard, compress, save
+
+SCALE = 4
+N_BATCHES = 4
+CHUNK_ROWS = 1024
+
+
+@pytest.fixture(scope="module")
+def batches():
+    table = dataset(SCALE).sorted_by_primary_key()
+    return _user_batches(table, N_BATCHES)
+
+
+def test_append_one_batch(benchmark, batches, tmp_path_factory):
+    """Appending the last batch to a table already holding the rest."""
+    benchmark.extra_info.update(figure="shard_append", path="append",
+                                scale=SCALE)
+
+    def setup():
+        root = Path(tempfile.mkdtemp(
+            dir=tmp_path_factory.getbasetemp()))
+        shard_dir = root / "sharded"
+        for batch in batches[:-1]:
+            append_shard(shard_dir, batch, target_chunk_rows=CHUNK_ROWS)
+        return (shard_dir,), {}
+
+    def append(shard_dir):
+        return append_shard(shard_dir, batches[-1],
+                            target_chunk_rows=CHUNK_ROWS)
+
+    entry = benchmark.pedantic(append, setup=setup, rounds=5)
+    assert entry["n_rows"] == len(batches[-1])
+
+
+def test_full_rewrite(benchmark, batches, tmp_path):
+    """The single-file alternative: recompress + re-save everything."""
+    benchmark.extra_info.update(figure="shard_append", path="rewrite",
+                                scale=SCALE)
+    table = batches[0]
+    for batch in batches[1:]:
+        table = table.concat(batch)
+    out = tmp_path / "single.cohana"
+
+    def rewrite():
+        return save(compress(table, target_chunk_rows=CHUNK_ROWS,
+                             assume_sorted=True), out)
+
+    n_bytes = benchmark(rewrite)
+    assert n_bytes > 0
+
+
+def test_sharded_scan_parity(batches, tmp_path):
+    """The sharded table answers queries identically to the single file."""
+    from repro.bench.experiments import TABLE, selective_scan_query
+    from repro.cohana import CohanaEngine
+
+    shard_dir = tmp_path / "sharded"
+    table = None
+    for batch in batches:
+        append_shard(shard_dir, batch, target_chunk_rows=CHUNK_ROWS)
+        table = batch if table is None else table.concat(batch)
+    single_path = tmp_path / "single.cohana"
+    save(compress(table, target_chunk_rows=CHUNK_ROWS,
+                  assume_sorted=True), single_path)
+
+    sharded, single = CohanaEngine(), CohanaEngine()
+    sharded.load_table(TABLE, shard_dir)
+    single.load_table(TABLE, single_path)
+    text = selective_scan_query()
+    assert sharded.query(text).rows == single.query(text).rows
+    shutil.rmtree(shard_dir)
+
+
+def main() -> int:
+    from repro.bench import shard_append
+
+    print(shard_append(scale=SCALE, n_batches=N_BATCHES,
+                       chunk_rows=CHUNK_ROWS).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

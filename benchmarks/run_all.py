@@ -26,6 +26,12 @@ The ``compressed`` experiment runs the selective workload under
 ``scan_mode=decoded`` vs ``scan_mode=compressed`` at ``jobs=1`` and
 records timings, the scheduler's pruning counters, per-query speedups
 and the cross-mode result-parity check in ``BENCH_compressed.json``.
+
+The ``shards`` experiment ingests the dataset as user-disjoint batches
+into a sharded table directory, measuring each append (one new shard +
+manifest update) against the full single-file rewrite of the same
+accumulated data, then checks sharded-vs-single scan parity and
+records per-shard pruning counters in ``BENCH_shards.json``.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.bench import (
     selective_scan_records,
     service_cache_records,
     set_default_seed,
+    shard_append_records,
 )
 from repro.bench.report_runner import resolve_experiments, run_and_print
 
@@ -174,6 +181,47 @@ def run_service(seed: int, out: Path, scale: int = 8,
     print(f"\n[service-cache results written to {out}]")
 
 
+def run_shards(seed: int, out: Path, scale: int = 4,
+               n_batches: int = 4, chunk_rows: int = 1024) -> None:
+    """Run the sharded append-vs-rewrite experiment and record
+    BENCH_shards.json (per-batch ingestion cost, scan parity between
+    the sharded table and a single file of the same data, and
+    per-shard pruning counters)."""
+    payload = shard_append_records(scale=scale, n_batches=n_batches,
+                                   chunk_rows=chunk_rows)
+    print("\nsharded append vs full rewrite:")
+    for step in payload["steps"]:
+        print(f"  batch {step['step']}: append "
+              f"{step['append_seconds']:.4f}s "
+              f"({step['append_bytes']:,}B new)  rewrite "
+              f"{step['rewrite_seconds']:.4f}s "
+              f"({step['rewrite_bytes']:,}B total)  "
+              f"x{step['speedup']:.2f}")
+    parity_ok = all(p["digest_parity"] for p in payload["parity"])
+    last = payload["steps"][-1]
+    # Bytes are the deterministic O(new data) witness: the last append
+    # writes one batch's shard while the rewrite re-encodes the whole
+    # table. Wall-clock speedup is recorded too but can be noisy on
+    # tiny smoke datasets.
+    append_ok = (last["append_bytes"] < last["rewrite_bytes"]
+                 and last["speedup"] is not None)
+    pruning = payload["pruning"]
+    print(f"  parity: {'OK' if parity_ok else 'MISMATCH'}; last append "
+          f"wrote {last['append_bytes']:,}B vs {last['rewrite_bytes']:,}B "
+          f"rewrite; pruning [{pruning['query']}]: "
+          f"{pruning['chunks_pruned']}/{pruning['chunks_total']} chunks "
+          f"pruned over {pruning['shards_total']} shards")
+    payload = {
+        "experiment": "shard_append",
+        "seed": seed,
+        **payload,
+        "parity_ok": parity_ok,
+        "append_ok": append_ok,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[shard-append results written to {out}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the paper's figure experiments")
@@ -199,6 +247,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_service.json",
                         help="where the service-cache experiment "
                              "records its timings")
+    parser.add_argument("--shards-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_shards.json",
+                        help="where the shard-append experiment "
+                             "records its timings")
     parser.add_argument("--scale", type=int, default=None,
                         help="override the dataset scale of the "
                              "compressed/service experiments (smoke "
@@ -214,7 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    recorded = ("parallel", "compressed", "service")
+    recorded = ("parallel", "compressed", "service", "shards")
     figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
@@ -228,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
     if "service" in selected:
         run_service(args.seed, args.service_out,
                     **({"scale": args.scale} if args.scale else {}))
+    if "shards" in selected:
+        run_shards(args.seed, args.shards_out,
+                   **({"scale": args.scale} if args.scale else {}))
     return 0
 
 

@@ -566,6 +566,140 @@ def service_cache(scale: int = 8, chunk_rows: int = 1024,
 
 
 # ---------------------------------------------------------------------------
+# Sharded tables (ours): append-only ingestion vs full rewrite
+# ---------------------------------------------------------------------------
+
+
+def _user_batches(table, n_batches: int) -> list:
+    """Split a sorted activity table into ``n_batches`` contiguous,
+    user-disjoint slices (the shard invariant: a user's tuples land in
+    exactly one batch)."""
+    blocks = list(table.user_blocks())
+    per = max(1, -(-len(blocks) // n_batches))
+    batches = []
+    for i in range(0, len(blocks), per):
+        group = blocks[i:i + per]
+        batches.append(table.slice(group[0][1], group[-1][2]))
+    return batches
+
+
+def shard_append_records(scale: int = 4, n_batches: int = 4,
+                         chunk_rows: int = 1024,
+                         repeat: int = 3) -> dict:
+    """The append-only ingestion experiment.
+
+    Simulates a growing activity table arriving in ``n_batches``
+    user-disjoint batches. For each batch it measures the **append**
+    path (write one new shard + atomically update the manifest) against
+    the **full rewrite** path (recompress and re-save everything seen
+    so far as a single ``.cohana`` file) — the cost a single-file table
+    pays for the same new data. After ingestion it checks scan parity
+    (the 4-shard table must answer queries digest-identically to the
+    single file holding the same data) and records per-shard pruning
+    stats for a selective query.
+    """
+    import hashlib
+    import time as _time
+
+    from repro.storage import append_shard
+
+    table = dataset(scale).sorted_by_primary_key()
+    batches = _user_batches(table, n_batches)
+    global _DISK_DIR
+    if _DISK_DIR is None:
+        _DISK_DIR = tempfile.TemporaryDirectory(prefix="cohana-bench-")
+    root = tempfile.mkdtemp(prefix="shards-", dir=_DISK_DIR.name)
+    shard_dir = os.path.join(root, "sharded")
+    single_path = os.path.join(root, "single.cohana")
+
+    steps = []
+    seen = None
+    for i, batch in enumerate(batches, start=1):
+        t0 = _time.perf_counter()
+        entry = append_shard(shard_dir, batch,
+                             target_chunk_rows=chunk_rows)
+        append_seconds = _time.perf_counter() - t0
+        seen = batch if seen is None else seen.concat(batch)
+        t0 = _time.perf_counter()
+        rewrite_bytes = save(compress(seen, target_chunk_rows=chunk_rows,
+                                      assume_sorted=True), single_path)
+        rewrite_seconds = _time.perf_counter() - t0
+        steps.append({
+            "step": i,
+            "rows_appended": len(batch),
+            "rows_total": len(seen),
+            "append_seconds": round(append_seconds, 6),
+            "rewrite_seconds": round(rewrite_seconds, 6),
+            "append_bytes": entry["n_bytes"],
+            "rewrite_bytes": rewrite_bytes,
+            "speedup": round(rewrite_seconds / append_seconds, 3)
+            if append_seconds else None,
+        })
+
+    sharded_engine = CohanaEngine()
+    sharded_engine.load_table(TABLE, shard_dir)
+    single_engine = CohanaEngine()
+    single_engine.load_table(TABLE, single_path)
+    parity = []
+    for qname, text in {
+        "Q1": _main_query("Q1"),
+        "rare_country": selective_queries()["rare_country"],
+        "selective_scan": selective_scan_query(),
+    }.items():
+        digests = {}
+        for label, engine in (("sharded", sharded_engine),
+                              ("single", single_engine)):
+            result = engine.query(text)
+            digests[label] = hashlib.sha256(
+                repr(result.rows).encode()).hexdigest()[:16]
+        seconds_sharded = time_query(sharded_engine, text, repeat=repeat)
+        seconds_single = time_query(single_engine, text, repeat=repeat)
+        parity.append({
+            "query": qname,
+            "digest_sharded": digests["sharded"],
+            "digest_single": digests["single"],
+            "digest_parity": digests["sharded"] == digests["single"],
+            "seconds_sharded": seconds_sharded,
+            "seconds_single": seconds_single,
+        })
+    _, prune_stats = sharded_engine.query_with_stats(
+        selective_queries()["rare_country"], scan_mode="compressed")
+    pruning = {
+        "query": "rare_country",
+        "shards_total": prune_stats.shards_total,
+        "shards_scanned": prune_stats.shards_scanned,
+        "chunks_total": prune_stats.chunks_total,
+        "chunks_scanned": prune_stats.chunks_scanned,
+        "chunks_pruned": prune_stats.chunks_pruned,
+        "chunks_pruned_zone": prune_stats.chunks_pruned_zone,
+    }
+    return {"scale": scale, "n_batches": n_batches,
+            "chunk_rows": chunk_rows, "steps": steps,
+            "parity": parity, "pruning": pruning}
+
+
+def shard_append(scale: int = 4, n_batches: int = 4,
+                 chunk_rows: int = 1024, repeat: int = 3) -> Report:
+    """Figure-style report: append vs full-rewrite cost per batch."""
+    payload = shard_append_records(scale=scale, n_batches=n_batches,
+                                   chunk_rows=chunk_rows, repeat=repeat)
+    report = Report(title="Sharded append vs full rewrite "
+                          f"(scale={scale}, {n_batches} batches)",
+                    x_label="batch", y_label="seconds / bytes")
+    append_s = report.series_named("append seconds")
+    rewrite_s = report.series_named("rewrite seconds")
+    append_b = report.series_named("append KiB")
+    rewrite_b = report.series_named("rewrite KiB")
+    for step in payload["steps"]:
+        append_s.add(step["step"], step["append_seconds"])
+        rewrite_s.add(step["step"], step["rewrite_seconds"])
+        append_b.add(step["step"], round(step["append_bytes"] / 1024, 1))
+        rewrite_b.add(step["step"],
+                      round(step["rewrite_bytes"] / 1024, 1))
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Ablations (ours): executor / push-down / pruning
 # ---------------------------------------------------------------------------
 
@@ -604,4 +738,5 @@ EXPERIMENTS = {
     "parallel": parallel_scaling,
     "compressed": compressed_scan,
     "service": service_cache,
+    "shards": shard_append,
 }

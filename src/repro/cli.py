@@ -4,11 +4,15 @@ Commands:
 
 * ``generate`` — write the synthetic mobile-game dataset to CSV;
 * ``compress`` — compress an activity CSV into a ``.cohana`` file;
+* ``ingest``   — append a CSV batch to a *sharded* table directory as
+  a new shard (``--append``; existing shard bytes are never rewritten);
 * ``inspect``  — print storage statistics of a ``.cohana`` file;
-* ``query``    — run a cohort query against a ``.cohana`` file
-  (through the caching query service; ``--no-cache`` bypasses it);
-* ``serve``    — serve queries from stdin against a ``.cohana`` file:
-  a REPL on a terminal, a concurrent batch reader on piped input;
+* ``query``    — run a cohort query against a ``.cohana`` file or
+  sharded table directory (through the caching query service;
+  ``--no-cache`` bypasses it);
+* ``serve``    — serve queries from stdin against a ``.cohana`` file or
+  sharded table directory: a REPL on a terminal, a concurrent batch
+  reader on piped input;
 * ``bench``    — regenerate the paper's evaluation figures.
 
 The CSV commands assume the benchmark's game schema (player / time /
@@ -51,11 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="output .cohana path")
     p.add_argument("--chunk-rows", type=int, default=65536)
 
+    p = sub.add_parser("ingest", help="ingest a CSV batch into a "
+                                      "sharded table directory")
+    p.add_argument("input", help="activity CSV (game schema)")
+    p.add_argument("table", help="sharded table directory (created on "
+                                 "first ingest; holds MANIFEST.json + "
+                                 "shard-NNNNNN.cohana files)")
+    p.add_argument("--append", action="store_true",
+                   help="add a new shard to an existing table without "
+                        "rewriting any existing shard bytes (required "
+                        "when the table already exists; the batch's "
+                        "users must be new to the table)")
+    p.add_argument("--chunk-rows", type=int, default=65536)
+
     p = sub.add_parser("inspect", help="storage stats of a .cohana file")
     p.add_argument("input", help=".cohana path")
 
     p = sub.add_parser("query", help="run a cohort query")
-    p.add_argument("input", help=".cohana path")
+    p.add_argument("input", help=".cohana file or sharded table dir")
     p.add_argument("text", help="cohort query text (FROM names the "
                                 "table this file is registered as)")
     p.add_argument("--executor", default="vectorized",
@@ -91,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="serve cohort queries from stdin "
                                      "(REPL on a terminal, concurrent "
                                      "batch on piped input)")
-    p.add_argument("input", help=".cohana path")
+    p.add_argument("input", help=".cohana file or sharded table dir")
     p.add_argument("--jobs", type=int, default=4,
                    help="admission workers for piped input: distinct "
                         "queries run concurrently and, with the cache "
@@ -141,6 +158,32 @@ def _dispatch(args) -> int:
         print(f"compressed {len(table)} tuples into {args.output}: "
               f"{n_bytes} bytes, {compressed.n_chunks} chunks")
         return 0
+    if args.command == "ingest":
+        from pathlib import Path
+
+        from repro.storage import (
+            MANIFEST_NAME,
+            append_shard,
+            read_manifest,
+        )
+
+        table = read_csv(args.input, game_schema())
+        directory = Path(args.table)
+        exists = (directory / MANIFEST_NAME).is_file()
+        if exists and not args.append:
+            print(f"error: {directory} is already a sharded table; "
+                  f"pass --append to add a shard", file=sys.stderr)
+            return 1
+        entry = append_shard(directory, table,
+                             target_chunk_rows=args.chunk_rows)
+        manifest = read_manifest(directory)
+        total_rows = sum(s["n_rows"] for s in manifest["shards"])
+        print(f"{'appended' if exists else 'created'} "
+              f"{directory / entry['path']}: {entry['n_rows']} tuples, "
+              f"{entry['n_chunks']} chunks, {entry['n_bytes']} bytes "
+              f"(table: {len(manifest['shards'])} shards, "
+              f"{total_rows} tuples)")
+        return 0
     if args.command == "inspect":
         stats = collect_stats(load(args.input))
         print(f"{args.input}: {stats.n_rows} tuples, "
@@ -188,10 +231,11 @@ def _serve(args) -> int:
     """The ``serve`` command: queries from stdin through the service.
 
     On a terminal this is a small REPL (one query per line, ``.help``
-    for meta commands). On piped input, queries are parsed first and
-    then admitted as one concurrent batch per flush, so distinct
-    queries run on ``--jobs`` admission workers and identical ones are
-    deduplicated in flight.
+    for meta commands). On piped input, statements may span multiple
+    lines (terminated by ``;`` or by parsing as a complete query);
+    they are parsed first and then admitted as one concurrent batch
+    per flush, so distinct queries run on ``--jobs`` admission workers
+    and identical ones are deduplicated in flight.
     """
     import json
 
@@ -264,7 +308,55 @@ def _serve(args) -> int:
                 print(f"error: {exc}", file=sys.stderr)
 
     # Piped input: batch consecutive queries, flushing at meta lines.
+    # A statement may span several lines: a line ending with ';' always
+    # terminates it, and a buffer that parses as a complete query is
+    # *held* — the next line may still extend it (clauses can follow in
+    # either order), and it only becomes a statement when a line
+    # arrives that cannot. A buffered fragment that can never complete
+    # is flushed as its own broken statement as soon as a
+    # self-contained statement follows it, so one typo does not
+    # swallow the rest of the session.
     pending: list[str] = []
+    fragment: list[str] = []
+    fragment_complete = False
+
+    def parses(text: str) -> bool:
+        try:
+            parse_cohort_query(text)
+        except ReproError:
+            return False
+        return True
+
+    def feed(line: str) -> None:
+        """Add one input line; move completed statements to pending."""
+        nonlocal fragment_complete
+        if fragment \
+                and not parses("\n".join([*fragment, line]).rstrip(";")) \
+                and (fragment_complete or parses(line.rstrip(";"))):
+            # The buffer cannot absorb this line. If it was a held
+            # complete statement, emit it; if it is a hopeless fragment
+            # followed by a self-contained statement, fail it on its
+            # own terms. Either way, the line starts fresh.
+            pending.append("\n".join(fragment))
+            fragment.clear()
+        fragment.append(line)
+        text = "\n".join(fragment)
+        if line.endswith(";"):
+            pending.append(text.rstrip(";"))
+            fragment.clear()
+            fragment_complete = False
+        else:
+            fragment_complete = parses(text)
+
+    def drain_fragment() -> None:
+        """A flush point ends any buffered statement (a partial one's
+        parse error is reported by bind() like any other broken
+        query)."""
+        nonlocal fragment_complete
+        if fragment:
+            pending.append("\n".join(fragment))
+            fragment.clear()
+        fragment_complete = False
 
     def flush() -> None:
         if not pending:
@@ -303,6 +395,7 @@ def _serve(args) -> int:
         if not line or line.startswith("#"):
             continue
         if line.startswith("."):
+            drain_fragment()
             flush()
             try:
                 if not run_meta(line):
@@ -313,8 +406,9 @@ def _serve(args) -> int:
                 # must not kill the rest of the piped session.
                 print(f"error: {line}: {exc}", file=sys.stderr)
         else:
-            pending.append(line.rstrip(";"))
+            feed(line)
     if keep_going:
+        drain_fragment()
         flush()
     return 0
 

@@ -43,6 +43,7 @@ merge exact.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from repro.errors import CatalogError, ExecutionError
@@ -89,12 +90,19 @@ class CohanaEngine:
         self._catalog: dict[str, CompressedActivityTable] = {}
         self._versions: dict[str, str] = {}
         self._mem_version_counter = 0
+        #: Guards the catalog / version map / counter as one unit: the
+        #: query service registers and replaces tables from concurrent
+        #: admission threads, and an unguarded counter bump is a lost
+        #: update waiting to happen (two registrations sharing one
+        #: ``mem:`` token would let stale cached results survive).
+        self._catalog_lock = threading.RLock()
 
     # -- storage manager ------------------------------------------------------
 
     def _stamp_version(self, name: str,
                        table: CompressedActivityTable) -> None:
-        """Record the version token of a (re-)registered table."""
+        """Record the version token of a (re-)registered table.
+        Caller holds ``self._catalog_lock``."""
         digest = getattr(table, "content_digest", None)
         if digest:
             self._versions[name] = f"sha256:{digest}"
@@ -109,8 +117,9 @@ class CohanaEngine:
         a reloaded file whose bytes differ), so equality of tokens
         implies cached results for the table are still valid.
         """
-        self.table(name)  # raises CatalogError on unknown names
-        return self._versions[name]
+        with self._catalog_lock:
+            self.table(name)  # raises CatalogError on unknown names
+            return self._versions[name]
 
     def create_table(self, name: str, table: ActivityTable,
                      target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
@@ -121,26 +130,30 @@ class CohanaEngine:
         With ``replace=True`` an existing registration is overwritten
         instead of raising :class:`~repro.errors.CatalogError`.
         """
-        if name in self._catalog and not replace:
-            raise CatalogError(f"table {name!r} already exists")
+        with self._catalog_lock:
+            # Fail before the O(rows) compression; register()'s own
+            # locked check stays authoritative against races.
+            if name in self._catalog and not replace:
+                raise CatalogError(f"table {name!r} already exists")
         compressed = compress(table, target_chunk_rows=target_chunk_rows)
-        self._catalog[name] = compressed
-        self._stamp_version(name, compressed)
+        self.register(name, compressed, replace=replace)
         return compressed
 
     def register(self, name: str, compressed: CompressedActivityTable,
                  replace: bool = False) -> None:
         """Register an already-compressed table (``replace`` as above)."""
-        if name in self._catalog and not replace:
-            raise CatalogError(f"table {name!r} already exists")
-        self._catalog[name] = compressed
-        self._stamp_version(name, compressed)
+        with self._catalog_lock:
+            if name in self._catalog and not replace:
+                raise CatalogError(f"table {name!r} already exists")
+            self._catalog[name] = compressed
+            self._stamp_version(name, compressed)
 
     def drop_table(self, name: str) -> None:
         """Remove ``name`` from the catalog."""
-        self.table(name)
-        del self._catalog[name]
-        del self._versions[name]
+        with self._catalog_lock:
+            self.table(name)
+            del self._catalog[name]
+            del self._versions[name]
 
     def table(self, name: str) -> CompressedActivityTable:
         """Look up a registered table."""
@@ -160,11 +173,28 @@ class CohanaEngine:
         return save(self.table(name), path)
 
     def load_table(self, name: str, path: str | Path,
-                   ) -> CompressedActivityTable:
-        """Load a ``.cohana`` file and register it under ``name``."""
+                   replace: bool = False) -> CompressedActivityTable:
+        """Load a ``.cohana`` file (or sharded table directory) and
+        register it under ``name`` (``replace`` as above)."""
         compressed = load(path)
-        self.register(name, compressed)
+        self.register(name, compressed, replace=replace)
         return compressed
+
+    def refresh_table(self, name: str) -> CompressedActivityTable:
+        """Re-load a disk-backed table from its ``source_path``.
+
+        The canonical way to pick up appended shards (or a rewritten
+        file): the reloaded registration gets a fresh version token, so
+        the query service invalidates exactly when the bytes changed —
+        a byte-identical refresh keeps the same ``sha256:`` token and
+        every cached result stays warm.
+        """
+        source = getattr(self.table(name), "source_path", None)
+        if not source:
+            raise CatalogError(
+                f"table {name!r} was not loaded from disk; re-register "
+                f"it instead of refreshing")
+        return self.load_table(name, source, replace=True)
 
     # -- parser / binder -------------------------------------------------------
 

@@ -48,6 +48,8 @@ locking is needed anywhere.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -57,7 +59,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import CatalogError, ExecutionError
-from repro.cohana.planner import SCAN_MODES, CohortPlan
+from repro.cohana.planner import SCAN_MODES, CohortPlan, plan_query
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
 from repro.schema import ColumnRole, LogicalType, format_timestamp
@@ -78,6 +80,9 @@ class ExecStats:
     chunk-dictionary membership on non-action birth bounds) could
     prove prunable; the invariant
     ``chunks_pruned + chunks_scanned == chunks_total`` always holds.
+    ``shards_total`` / ``shards_scanned`` describe sharded tables
+    (``shards_scanned`` counts shards with at least one surviving scan
+    task); both stay zero for single-file tables.
 
     The ``cache_*`` counters are filled in by the query service
     (:mod:`repro.service`) when a query goes through its result cache;
@@ -94,6 +99,8 @@ class ExecStats:
     chunks_scanned: int = 0
     chunks_pruned: int = 0
     chunks_pruned_zone: int = 0
+    shards_total: int = 0
+    shards_scanned: int = 0
     rows_scanned: int = 0
     users_seen: int = 0
     users_qualified: int = 0
@@ -379,6 +386,89 @@ class ScanTask:
     index: int
 
 
+#: Per-shard plan cache. Shards have independent global dictionaries,
+#: so a sharded query replans each shard; the plan depends only on the
+#: bound query, the shard's *content* and the planning knobs — keying
+#: by the shard's content digest (not the table object) means plans of
+#: untouched shards stay warm across appends and table reloads, while
+#: a rewritten shard can never reuse a stale plan.
+_SHARD_PLAN_CACHE: OrderedDict[tuple, CohortPlan] = OrderedDict()
+_SHARD_PLAN_CACHE_BOUND = 512
+_SHARD_PLAN_LOCK = threading.Lock()
+#: Cumulative cache counters (observable by tests and benchmarks).
+SHARD_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_shard_plan_cache() -> None:
+    """Drop every cached per-shard plan (counters keep accumulating)."""
+    with _SHARD_PLAN_LOCK:
+        _SHARD_PLAN_CACHE.clear()
+
+
+def shard_plan(shard: CompressedActivityTable, query: CohortQuery,
+               pushdown: bool, prune: bool, scan_mode: str) -> CohortPlan:
+    """Plan ``query`` against one shard, through the per-shard cache."""
+    digest = getattr(shard, "content_digest", None)
+    key = None
+    if digest:
+        key = (digest, repr(query), pushdown, prune, scan_mode)
+        with _SHARD_PLAN_LOCK:
+            plan = _SHARD_PLAN_CACHE.get(key)
+            if plan is not None:
+                SHARD_PLAN_CACHE_STATS["hits"] += 1
+                _SHARD_PLAN_CACHE.move_to_end(key)
+                return plan
+            SHARD_PLAN_CACHE_STATS["misses"] += 1
+    plan = plan_query(query, shard, pushdown=pushdown, prune=prune,
+                      scan_mode=scan_mode)
+    if key is not None:
+        with _SHARD_PLAN_LOCK:
+            _SHARD_PLAN_CACHE[key] = plan
+            while len(_SHARD_PLAN_CACHE) > _SHARD_PLAN_CACHE_BOUND:
+                _SHARD_PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def _decode_partial(shard: CompressedActivityTable, query: CohortQuery,
+                    partial: ChunkPartial) -> ChunkPartial:
+    """Translate a partial's cohort labels from the shard's global-id
+    space into value space.
+
+    Shards carry independent dictionaries, so the same global id means
+    different values in different shards; decoding before the
+    cross-shard merge is what makes the merge meaningful. Within one
+    shard distinct ids decode to distinct values, so no information is
+    lost.
+    """
+    schema = shard.schema
+    decoded: dict[tuple, tuple] = {}
+
+    def value_label(label: tuple) -> tuple:
+        hit = decoded.get(label)
+        if hit is None:
+            hit = decoded[label] = decode_label(shard, schema, query,
+                                                label)
+        return hit
+
+    out = ChunkPartial(
+        n_aggregates=partial.n_aggregates,
+        rows_scanned=partial.rows_scanned,
+        users_seen=partial.users_seen,
+        users_qualified=partial.users_qualified,
+        tuples_aggregated=partial.tuples_aggregated,
+    )
+    for label, count in partial.cohort_sizes.items():
+        out.add_cohort_size(value_label(label), count)
+    funcs = [agg.func for agg in query.aggregates]
+    for (label, age), slots in partial.buckets.items():
+        mine = out.buckets.setdefault((value_label(label), age),
+                                      [None] * partial.n_aggregates)
+        for i, slot in enumerate(slots):
+            if slot is not None:
+                mine[i] = merge_partial(funcs[i], mine[i], slot)
+    return out
+
+
 #: Per-worker-process table cache: one lazy table per ``.cohana`` path,
 #: reused across every task this worker runs for its pool (pools are
 #: per-query, so the cache's useful lifetime is one query's scan).
@@ -448,6 +538,8 @@ class ChunkScheduler:
 
     def run(self) -> tuple[CohortResult, ExecStats]:
         """Execute the plan and build the result relation."""
+        if getattr(self.table, "is_sharded", False):
+            return self._run_sharded()
         query = self.plan.query
         stats = ExecStats(chunks_total=self.table.n_chunks)
         state = MergeState(query)
@@ -458,6 +550,93 @@ class ChunkScheduler:
         return (CohortResult(columns=query.output_columns, rows=rows,
                              n_cohort_columns=len(query.cohort_by)),
                 stats)
+
+    # -- sharded execution ----------------------------------------------------
+
+    def _run_sharded(self) -> tuple[CohortResult, ExecStats]:
+        """Execute over a sharded table: plan each shard against its
+        own dictionaries, prune per shard, scan across all shards on
+        the configured backend, and merge in *value* space.
+
+        Shards carry independent global dictionaries (the append path
+        never re-encodes old shards), so gid-space partials from
+        different shards are not comparable — each shard's partials
+        have their cohort labels decoded through the owning shard
+        before they reach the shared :class:`MergeState`. Row building
+        then runs with ``decoded_labels=True`` regardless of kernel.
+        """
+        query = self.plan.query
+        stats = ExecStats(chunks_total=self.table.n_chunks,
+                          shards_total=len(self.table.shards))
+        state = MergeState(query)
+        work: list[tuple] = []  # (shard, shard plan, surviving tasks)
+        for shard in self.table.shards:
+            plan = shard_plan(shard, query, self.plan.pushdown,
+                              self.plan.prune, self.plan.scan_mode)
+            if plan.birth_action_gid is None and self.plan.prune:
+                # The birth action is absent from this shard's global
+                # dictionary — the shard-level form of the action
+                # chunk-dictionary miss. Count its chunks as pruned so
+                # chunks_pruned + chunks_scanned == chunks_total keeps
+                # holding across shards.
+                stats.chunks_pruned += shard.n_chunks
+                continue
+            tasks = ChunkScheduler(shard, plan, self.kernel,
+                                   self.config).tasks(stats)
+            if tasks:
+                stats.shards_scanned += 1
+                work.append((shard, plan, tasks))
+        for shard, partial in self._scan_shards(work):
+            if not self.kernel.decoded_labels:
+                partial = _decode_partial(shard, query, partial)
+            state.absorb(partial, stats, self.config.collect_stats)
+        rows = build_rows(self.table, state, decoded_labels=True)
+        return (CohortResult(columns=query.output_columns, rows=rows,
+                             n_cohort_columns=len(query.cohort_by)),
+                stats)
+
+    def _scan_shards(self, work):
+        """Yield ``(shard, ChunkPartial)`` pairs across all shards.
+
+        Same backend semantics as :meth:`_scan`, but the fan-out unit
+        spans shards: one pool serves every shard's tasks, and a
+        ``processes`` worker opens only the shard file that owns its
+        chunk (each shard is an ordinary ``.cohana`` file, so the
+        worker-side per-path table cache applies per shard).
+        """
+        if not work:
+            return
+        scan = self.kernel.scan
+        if self.config.backend == "serial":
+            for shard, plan, tasks in work:
+                for task in tasks:
+                    yield shard, scan(shard, task.chunk, plan)
+            return
+        n_tasks = sum(len(tasks) for _, _, tasks in work)
+        workers = min(self.config.jobs, n_tasks)
+        owners: dict = {}
+        if self.config.backend == "threads":
+            pool = ThreadPoolExecutor(max_workers=workers)
+            for shard, plan, tasks in work:
+                for task in tasks:
+                    future = pool.submit(scan, shard, task.chunk, plan)
+                    owners[future] = shard
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            for shard, plan, tasks in work:
+                path = getattr(shard, "source_path", None)
+                if not path:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise ExecutionError(
+                        "the 'processes' backend needs shards loaded "
+                        "from .cohana files (workers reopen them by "
+                        "path); use backend='threads'")
+                for task in tasks:
+                    future = pool.submit(_scan_chunk_in_worker, path,
+                                         self.kernel.name, plan,
+                                         task.index)
+                    owners[future] = shard
+        yield from _drain_pool_keyed(pool, owners)
 
     def _scan(self, tasks: list[ScanTask]):
         """Yield ChunkPartials as scan tasks complete, per the backend.
@@ -505,6 +684,16 @@ def _drain_pool(pool, futures):
     try:
         for future in as_completed(futures):
             yield future.result()
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _drain_pool_keyed(pool, futures: dict):
+    """Like :func:`_drain_pool`, for futures mapped to an owner key
+    (the shard that submitted them): yields ``(owner, result)``."""
+    try:
+        for future in as_completed(futures):
+            yield futures[future], future.result()
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
 

@@ -61,17 +61,33 @@ def tokenize(source: str) -> list[Token]:
                 i += 1
             continue
         if ch in "\"'":
-            end = source.find(ch, i + 1)
-            if end < 0:
-                raise ParseError("unterminated string literal", i)
-            tokens.append(Token(STRING, source[i + 1:end], i))
+            # SQL-style escaping: a doubled quote inside the literal is
+            # one literal quote character ('O''Brien' -> O'Brien).
+            parts: list[str] = []
+            j = i + 1
+            while True:
+                end = source.find(ch, j)
+                if end < 0:
+                    raise ParseError("unterminated string literal", i)
+                parts.append(source[j:end])
+                if source.startswith(ch, end + 1):
+                    parts.append(ch)
+                    j = end + 2
+                    continue
+                break
+            tokens.append(Token(STRING, "".join(parts), i))
             i = end + 1
             continue
         if ch.isdigit():
             j = i + 1
             while j < n and (source[j].isdigit() or source[j] == "."):
                 j += 1
-            tokens.append(Token(NUMBER, source[i:j], i))
+            text = source[i:j]
+            if text.count(".") > 1:
+                raise ParseError(
+                    f"invalid number literal {text!r} "
+                    f"(more than one '.')", i)
+            tokens.append(Token(NUMBER, text, i))
             i = j
             continue
         if ch.isalpha() or ch == "_":

@@ -16,6 +16,15 @@ from repro.storage.format import deserialize, load, save, serialize
 from repro.storage.raw import RawFloatColumn
 from repro.storage.reader import CompressedActivityTable
 from repro.storage.rle import RleColumn, encode_users
+from repro.storage.sharded import (
+    MANIFEST_NAME,
+    ShardedActivityTable,
+    append_shard,
+    compose_digest,
+    is_sharded_path,
+    load_sharded,
+    read_manifest,
+)
 from repro.storage.stats import ColumnStats, StorageStats, collect_stats
 from repro.storage.writer import DEFAULT_CHUNK_ROWS, compress
 from repro.storage.zonemap import ZoneMap, build_zone_map, build_zone_maps
@@ -29,23 +38,30 @@ __all__ = [
     "DictEncodedColumn",
     "GlobalDictionary",
     "GlobalRange",
+    "MANIFEST_NAME",
     "PackedArray",
     "RawFloatColumn",
     "RleColumn",
+    "ShardedActivityTable",
     "StorageStats",
     "ZoneMap",
+    "append_shard",
     "bits_needed",
     "build_zone_map",
     "build_zone_maps",
     "collect_stats",
+    "compose_digest",
     "compress",
     "deserialize",
     "encode_chunk_integers",
     "encode_chunk_strings",
     "encode_users",
     "encoded_column_kind",
+    "is_sharded_path",
     "load",
+    "load_sharded",
     "pack",
+    "read_manifest",
     "save",
     "serialize",
 ]

@@ -40,10 +40,10 @@ Version history:
 with empty ``Chunk.zone_maps`` (execution falls back to scans without
 zone-map pruning), version-1/2 files always load eagerly, and files
 older than version 4 get their content digest computed from the raw
-bytes at load time instead of read from the header — except version-3
-files on the lazy/mmap path, where hashing would fault in the whole
-file; those load with no digest and the engine falls back to a
-counter-based version token.
+bytes at load time instead of read from the header — including
+version-3 files on the lazy/mmap path, where the bytes are hashed once
+without deserializing any chunk, so lazy loads get the same
+``sha256:`` version tokens as eager ones.
 :func:`serialize` writes version 4 by default but can still emit
 versions 1–3 for compatibility testing and downgrade tooling.
 
@@ -437,16 +437,15 @@ def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
         raise StorageError(f"unsupported .cohana version {version}")
     if version >= DIGEST_VERSION:
         content_digest = r.bytes_(_DIGEST_BYTES).hex()
-    elif lazy and version >= MMAP_VERSION:
-        # Pre-digest file on the lazy/mmap path (version 3): hashing
-        # would fault in the entire file and defeat the lazy load —
-        # leave the digest unset; the engine falls back to a monotonic
-        # counter token (correct, merely less sticky across re-loads).
-        content_digest = None
     else:
-        # Pre-digest files loaded eagerly: the bytes are all in memory
-        # anyway, so hash them once so the loaded table still carries a
-        # stable content-derived version token.
+        # Pre-digest files: hash the raw bytes once so the loaded table
+        # carries a stable content-derived version token. On the
+        # lazy/mmap path this streams the file through the page cache
+        # sequentially without deserializing anything — far cheaper
+        # than an eager load, and it keeps the engine's version token
+        # ``sha256:`` (content-addressed) instead of falling back to a
+        # per-process ``mem:`` counter that cold-starts the service
+        # cache on every byte-identical re-registration.
         content_digest = hashlib.sha256(data).hexdigest()
     n_cols = r.u32()
     specs = []
@@ -518,17 +517,23 @@ def load(path: str | Path,
     """Read a compressed activity table from ``path``.
 
     Args:
-        path: the ``.cohana`` file.
+        path: a ``.cohana`` file, or a sharded table directory (one
+            containing a shard ``MANIFEST.json`` — see
+            :mod:`repro.storage.sharded`), or the manifest file itself.
         lazy: ``'auto'`` (default) memory-maps version-3 files and
             defers chunk deserialization to first touch; older versions
             load eagerly. ``True`` behaves like ``'auto'`` (version-1/2
             files have no chunk index, so eager is the only option);
             ``False`` forces an eager in-memory load for any version.
+            Shard files are always opened in ``'auto'`` mode.
 
     The returned table records ``source_path``, which lets the
     ``processes`` execution backend reopen it inside worker processes.
     """
     path = Path(path)
+    from repro.storage.sharded import is_sharded_path, load_sharded
+    if is_sharded_path(path):
+        return load_sharded(path)
     table = None
     if lazy and (version := _peek_version(path)) is not None \
             and version >= MMAP_VERSION:

@@ -133,6 +133,13 @@ class CompressedActivityTable:
         return isinstance(self.chunks, LazyChunkList)
 
     @property
+    def is_sharded(self) -> bool:
+        """True for multi-file sharded tables, whose chunks must be
+        interpreted in their owning shard's id space
+        (:class:`repro.storage.sharded.ShardedActivityTable`)."""
+        return False
+
+    @property
     def nbytes(self) -> int:
         """Compressed size: chunks + global dictionaries + ranges."""
         total = sum(c.nbytes for c in self.chunks)

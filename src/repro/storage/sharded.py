@@ -1,0 +1,400 @@
+"""Sharded multi-file tables with append-only ingestion.
+
+A table that grows as users act cannot live in one immutable
+``.cohana`` file: every new batch of activity would force a full
+rewrite of bytes that did not change, and the content digest flipping
+wholesale would cold-start every cache keyed on it. A **sharded table**
+is instead a *directory*::
+
+    GameActions/
+        MANIFEST.json          <- shard list: path, rows, chunks, digest
+        shard-000001.cohana    <- ordinary .cohana files (format v4)
+        shard-000002.cohana
+        ...
+
+Appending writes one *new* shard file and atomically replaces the
+manifest (write-temp + ``os.replace``); existing shard bytes are never
+touched, so readers holding the old manifest keep a consistent view
+and the cost of ingestion is O(new data).
+
+Invariant (the price of exactness): **all tuples of a user live in one
+shard** — the shard-level restatement of COHANA's chunk invariant
+(Section 4.1), and the reason per-shard partial aggregates (including
+cohort sizes and distinct-user counts) merge exactly. The append path
+enforces it by intersecting the incoming user set with every existing
+shard's user dictionary and refusing overlaps, so a sharded table can
+never silently double-count a user.
+
+Each shard is self-contained: it has its *own* global dictionaries and
+ranges, so appending never re-encodes old shards. Global ids are
+therefore **per-shard** coordinates — the execution layer plans each
+shard independently (cheap: planning reads only header metadata) and
+decodes cohort labels into value space before merging across shards
+(:mod:`repro.cohana.pipeline`). The :class:`ShardedActivityTable`
+facade still exposes merged dictionaries/ranges for schema-level
+planning and EXPLAIN, but chunk payloads must always be interpreted
+against the shard that owns them.
+
+The table's ``content_digest`` is composed from the manifest's shard
+digests, so the engine's version token changes exactly when the shard
+set changes — an append invalidates cached results, a byte-identical
+reload does not.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.dictionary import GlobalDictionary
+from repro.storage.delta import GlobalRange
+from repro.storage.reader import CompressedActivityTable
+from repro.storage.writer import DEFAULT_CHUNK_ROWS, compress
+from repro.table import ActivityTable
+
+#: The manifest file naming the shards of a sharded table directory.
+MANIFEST_NAME = "MANIFEST.json"
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+#: Shard files are named ``shard-NNNNNN.cohana``.
+_SHARD_PATTERN = "shard-{:06d}.cohana"
+
+
+def is_sharded_path(path: str | Path) -> bool:
+    """True when ``path`` is a sharded table directory (or its
+    manifest file) rather than a single ``.cohana`` file."""
+    path = Path(path)
+    if path.name == MANIFEST_NAME:
+        return path.is_file()
+    return path.is_dir() and (path / MANIFEST_NAME).is_file()
+
+
+def compose_digest(shard_digests: Sequence[str]) -> str:
+    """One content digest for the whole table, derived from the
+    ordered shard digests: it changes iff the shard set changes."""
+    payload = "\n".join(shard_digests).encode("utf-8")
+    return hashlib.sha256(b"cohana-shards\n" + payload).hexdigest()
+
+
+def read_manifest(directory: str | Path) -> dict:
+    """Parse and structurally validate a shard manifest."""
+    directory = Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise StorageError(
+            f"not a sharded table: {manifest_path} missing") from None
+    except json.JSONDecodeError as exc:
+        raise StorageError(
+            f"corrupt shard manifest {manifest_path}: {exc}") from None
+    if manifest.get("format") != "cohana-sharded":
+        raise StorageError(f"{manifest_path}: not a cohana shard "
+                           f"manifest (format={manifest.get('format')!r})")
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise StorageError(
+            f"{manifest_path}: unsupported manifest version "
+            f"{manifest.get('version')!r}")
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise StorageError(f"{manifest_path}: manifest lists no shards")
+    for entry in shards:
+        missing = {"path", "n_rows", "n_chunks",
+                   "content_digest"} - set(entry)
+        if missing:
+            raise StorageError(f"{manifest_path}: shard entry missing "
+                               f"{sorted(missing)}")
+    return manifest
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    """Atomically replace the manifest: a reader sees either the old
+    shard list or the new one, never a torn file."""
+    target = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, target)
+
+
+class ShardChunkList(Sequence):
+    """A lazy concatenated view over the shards' chunk lists.
+
+    Indexing is global: chunk ``i`` belongs to the shard whose chunk
+    range covers ``i``; the chunk object itself is whatever the shard's
+    (typically memory-mapped, lazily parsed) chunk list yields — a
+    chunk is deserialized only when first touched, exactly as in the
+    single-file case.
+    """
+
+    def __init__(self, shards: Sequence[CompressedActivityTable]):
+        self._shards = shards
+        self._starts: list[int] = []
+        total = 0
+        for shard in shards:
+            self._starts.append(total)
+            total += shard.n_chunks
+        self._total = total
+
+    def locate(self, index: int) -> tuple[int, int]:
+        """Map a global chunk index to ``(shard_index, local_index)``."""
+        if index < 0:
+            index += self._total
+        if not 0 <= index < self._total:
+            raise IndexError(f"chunk index {index} out of range")
+        shard_idx = bisect.bisect_right(self._starts, index) - 1
+        return shard_idx, index - self._starts[shard_idx]
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        shard_idx, local = self.locate(index)
+        return self._shards[shard_idx].chunks[local]
+
+    def __iter__(self):
+        for shard in self._shards:
+            yield from shard.chunks
+
+    def __repr__(self) -> str:
+        return (f"ShardChunkList({self._total} chunks over "
+                f"{len(self._shards)} shards)")
+
+
+def _merged_dictionaries(shards) -> dict[str, GlobalDictionary]:
+    """Table-wide dictionaries: the sorted union of the shards' values.
+
+    Only used for schema-level planning (EXPLAIN, literal lookups) and
+    value decoding in *merged* space — chunk payloads stay in their
+    shard's id space and must never be decoded against these.
+    """
+    merged: dict[str, GlobalDictionary] = {}
+    names = set()
+    for shard in shards:
+        names.update(shard.global_dicts)
+    for name in names:
+        values: set[str] = set()
+        for shard in shards:
+            gdict = shard.global_dicts.get(name)
+            if gdict is not None:
+                values.update(gdict.values)
+        merged[name] = GlobalDictionary(tuple(sorted(values)))
+    return merged
+
+
+def _merged_ranges(shards) -> dict[str, GlobalRange]:
+    merged: dict[str, GlobalRange] = {}
+    for shard in shards:
+        for name, rng in shard.global_ranges.items():
+            seen = merged.get(name)
+            if seen is None:
+                merged[name] = rng
+            else:
+                merged[name] = GlobalRange(
+                    min(seen.min_value, rng.min_value),
+                    max(seen.max_value, rng.max_value))
+    return merged
+
+
+class ShardedActivityTable(CompressedActivityTable):
+    """A directory of shard files behaving like one compressed table.
+
+    ``chunks`` is the lazy concatenation of the shards' chunk lists;
+    ``global_dicts`` / ``global_ranges`` are merged views for
+    schema-level planning. Execution treats shards as the fan-out unit:
+    the scheduler plans each shard against its own dictionaries and
+    merges decoded partials (see :mod:`repro.cohana.pipeline`), so
+    per-shard global ids never leak across shard boundaries.
+    """
+
+    def __init__(self, shards: list[CompressedActivityTable],
+                 manifest: dict, directory: str | Path):
+        if not shards:
+            raise StorageError("a sharded table needs at least one shard")
+        schema = shards[0].schema
+        for i, shard in enumerate(shards[1:], start=1):
+            if shard.schema != schema:
+                raise StorageError(
+                    f"shard {i} schema differs from shard 0 "
+                    f"(all shards of a table share one schema)")
+        digests = [entry["content_digest"]
+                   for entry in manifest["shards"]]
+        super().__init__(
+            schema=schema,
+            global_dicts=_merged_dictionaries(shards),
+            global_ranges=_merged_ranges(shards),
+            chunks=ShardChunkList(shards),
+            target_chunk_rows=shards[0].target_chunk_rows,
+            source_path=str(directory),
+            content_digest=compose_digest(digests),
+        )
+        self.shards = shards
+        self.manifest = manifest
+        self.shard_digests = digests
+
+    @property
+    def is_sharded(self) -> bool:
+        return True
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, chunk_index: int) -> tuple[int, int]:
+        """Map a global chunk index to ``(shard_index, local_index)``."""
+        return self.chunks.locate(chunk_index)
+
+    def decode_chunk(self, chunk) -> ActivityTable:
+        """Chunk payloads are encoded in their *shard's* id space, so
+        decoding against the merged dictionaries would produce garbage
+        values — decode via the owning shard instead."""
+        raise StorageError(
+            "decode chunks of a sharded table via the owning shard "
+            "(table.shards[i].decode_chunk), not the merged facade")
+
+    def decompress(self) -> ActivityTable:
+        """Materialize the whole table, shard by shard."""
+        table = self.shards[0].decompress()
+        for shard in self.shards[1:]:
+            table = table.concat(shard.decompress())
+        return table
+
+    def __repr__(self) -> str:
+        return (f"ShardedActivityTable({self.n_rows} rows, "
+                f"{self.n_users} users, {self.n_chunks} chunks, "
+                f"{self.n_shards} shards)")
+
+
+def load_sharded(path: str | Path) -> ShardedActivityTable:
+    """Open a sharded table directory (or its manifest file).
+
+    Every shard is opened through :func:`repro.storage.format.load`
+    (memory-mapped and lazy for current-format files) and its content
+    digest is checked against the manifest, so a shard file swapped
+    under an unchanged manifest fails loudly instead of serving bytes
+    the version token does not describe.
+    """
+    from repro.storage.format import load as load_file
+
+    directory = Path(path)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    manifest = read_manifest(directory)
+    shards = []
+    for entry in manifest["shards"]:
+        shard_path = directory / entry["path"]
+        if not shard_path.is_file():
+            raise StorageError(f"shard file missing: {shard_path}")
+        shard = load_file(shard_path)
+        if shard.content_digest != entry["content_digest"]:
+            raise StorageError(
+                f"shard digest mismatch for {shard_path}: manifest says "
+                f"{entry['content_digest'][:12]}..., file is "
+                f"{(shard.content_digest or '?')[:12]}...")
+        if shard.n_chunks != entry["n_chunks"]:
+            raise StorageError(
+                f"shard chunk-count mismatch for {shard_path}: manifest "
+                f"says {entry['n_chunks']}, file has {shard.n_chunks}")
+        shards.append(shard)
+    return ShardedActivityTable(shards, manifest, directory)
+
+
+def _existing_users(shards) -> set[str]:
+    """Every user present in the given shards (from the per-shard user
+    dictionaries — header metadata only, no chunk is deserialized)."""
+    users: set[str] = set()
+    for shard in shards:
+        gdict = shard.global_dicts.get(shard.schema.user.name)
+        if gdict is not None:
+            users.update(gdict.values)
+    return users
+
+
+def append_shard(directory: str | Path, table: ActivityTable,
+                 target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 ) -> dict:
+    """Compress ``table`` into a new shard of the table at ``directory``.
+
+    Creates the directory and manifest on first use. Existing shard
+    bytes are never rewritten: the new shard file is written next to
+    them and the manifest is atomically replaced. Returns the new
+    shard's manifest entry.
+
+    Raises:
+        StorageError: when the incoming batch contains users already
+            present in an existing shard (the shard invariant — all
+            tuples of a user in one shard — is what keeps cohort
+            aggregation exact), or when the batch is empty.
+    """
+    if len(table) == 0:
+        raise StorageError("refusing to append an empty shard")
+    from repro.storage.format import MAGIC, serialize
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if (directory / MANIFEST_NAME).is_file():
+        existing = load_sharded(directory)
+        if existing.schema != table.schema:
+            raise StorageError(
+                "appended batch schema differs from the table's")
+        overlap = _existing_users(existing.shards) \
+            & set(table.distinct_users())
+        if overlap:
+            sample = ", ".join(sorted(overlap)[:5])
+            raise StorageError(
+                f"append would split {len(overlap)} user(s) across "
+                f"shards (e.g. {sample}); a user's tuples must live in "
+                f"one shard for cohort aggregation to stay exact — "
+                f"batch ingestion by user arrival, or rebuild the "
+                f"table from the combined data")
+        manifest = existing.manifest
+        next_index = manifest["next_shard_index"]
+    else:
+        manifest = {"format": "cohana-sharded",
+                    "version": MANIFEST_VERSION,
+                    "target_chunk_rows": target_chunk_rows,
+                    "next_shard_index": 1,
+                    "shards": []}
+        next_index = 1
+
+    compressed = compress(table, target_chunk_rows=target_chunk_rows)
+    data = serialize(compressed)
+    shard_name = _SHARD_PATTERN.format(next_index)
+    shard_path = directory / shard_name
+    try:
+        # Exclusive create: two concurrent appends that both read the
+        # same manifest race for one shard name — the loser must fail
+        # loudly here instead of silently overwriting the winner's
+        # bytes and dropping its manifest entry.
+        with open(shard_path, "xb") as f:
+            f.write(data)
+    except FileExistsError:
+        raise StorageError(
+            f"shard file already exists: {shard_path} (concurrent "
+            f"append, or manifest out of sync) — retry the append"
+        ) from None
+    # The manifest records the digest readers will see in the shard's
+    # own header (format v4 stamps it right after magic + version), so
+    # a later mismatch can only mean on-disk corruption.
+    digest = data[len(MAGIC) + 2:len(MAGIC) + 2 + 32].hex()
+    entry = {
+        "path": shard_name,
+        "n_rows": compressed.n_rows,
+        "n_chunks": compressed.n_chunks,
+        "n_users": compressed.n_users,
+        "n_bytes": len(data),
+        "content_digest": digest,
+    }
+    manifest["shards"].append(entry)
+    manifest["next_shard_index"] = next_index + 1
+    _write_manifest(directory, manifest)
+    return entry

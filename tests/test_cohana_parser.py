@@ -139,6 +139,62 @@ class TestParser:
         assert parsed.table == "D"
 
 
+class TestLexerLiterals:
+    """The shared lexer's string/number edge cases."""
+
+    def _strings(self, source):
+        from repro.common import STRING, tokenize
+
+        return [t.text for t in tokenize(source) if t.kind == STRING]
+
+    def test_doubled_quote_escapes(self):
+        assert self._strings("'O''Brien'") == ["O'Brien"]
+        assert self._strings('"say ""hi"" now"') == ['say "hi" now']
+
+    def test_doubled_quote_at_edges(self):
+        assert self._strings("'''x'") == ["'x"]
+        assert self._strings("'x'''") == ["x'"]
+        assert self._strings("''''") == ["'"]
+
+    def test_empty_string_still_empty(self):
+        assert self._strings("''") == [""]
+        assert self._strings("'' ''") == ["", ""]
+
+    def test_unterminated_after_doubled_quote(self):
+        from repro.common import tokenize
+
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'abc''")
+
+    def test_quoted_value_flows_through_parser(self):
+        parsed = parse_cohort_query(
+            "SELECT c, Sum(g) FROM D "
+            "BIRTH FROM action = 'launch' AND c = 'O''Brien' "
+            "COHORT BY c")
+        assert parsed.table == "D"
+
+    def test_number_with_two_dots_rejected(self):
+        from repro.common import tokenize
+
+        with pytest.raises(ParseError, match="more than one"):
+            tokenize("1.2.3")
+
+    def test_bad_number_in_query_is_parse_error(self):
+        # Before the fix "1.2.3" lexed as one NUMBER and crashed
+        # later in float().
+        with pytest.raises(ParseError, match="more than one"):
+            parse_cohort_query(
+                'SELECT c, Sum(g) FROM D '
+                'BIRTH FROM action = "x" AND g = 1.2.3 COHORT BY c')
+
+    def test_plain_numbers_still_lex(self):
+        from repro.common import NUMBER, tokenize
+
+        tokens = [t.text for t in tokenize("7 1.5 0.25")
+                  if t.kind == NUMBER]
+        assert tokens == ["7", "1.5", "0.25"]
+
+
 class TestBinder:
     def test_q1_binding(self, game_schema):
         query = bind_cohort_query(parse_cohort_query(Q1), game_schema)

@@ -136,19 +136,24 @@ class TestFormatV4Digest:
         assert table.content_digest is not None
         assert load(path).content_digest == table.content_digest
 
-    def test_v3_lazy_load_skips_digest(self, tmp_path):
-        """Hashing a lazy v3 file would fault in every byte and defeat
-        the mmap path; such tables fall back to counter tokens."""
+    def test_v3_lazy_load_hashes_bytes_once(self, tmp_path):
+        """Lazy v3 loads hash the mmap'd bytes (no chunk is parsed) so
+        they get the same sha256: token as eager loads — a byte-
+        identical re-registration must not cold-start the cache."""
         path = tmp_path / "t.cohana"
         save(compress(make_table1(), target_chunk_rows=4), path,
              version=3)
         lazy = load(path)
-        assert lazy.is_lazy and lazy.content_digest is None
+        assert lazy.is_lazy
+        assert lazy.chunks.loaded_count == 0  # digest without parsing
         eager = load(path, lazy=False)
-        assert eager.content_digest is not None
+        assert lazy.content_digest == eager.content_digest is not None
         eng = CohanaEngine()
         eng.register("D", lazy)
-        assert eng.version_token("D").startswith("mem:")
+        token = eng.version_token("D")
+        assert token.startswith("sha256:")
+        eng.register("D", load(path), replace=True)
+        assert eng.version_token("D") == token
 
     def test_in_memory_table_has_no_digest(self):
         assert compress(make_table1()).content_digest is None
@@ -553,6 +558,54 @@ class TestServeCLI:
         out = self._serve(monkeypatch, capsys, demo_cohana,
                           f"# a comment\n\n{CLI_QUERY};\n")
         assert "cohort_size" in out.out
+
+    def test_multiline_query_accumulates(self, demo_cohana,
+                                         monkeypatch, capsys):
+        """A statement split across lines is one query, not a pile of
+        broken fragments (terminated by ';' or by parsing whole)."""
+        multiline = ('SELECT country, COHORTSIZE, AGE, UserCount()\n'
+                     'FROM D\n'
+                     'BIRTH FROM action = "launch"\n'
+                     'COHORT BY country;\n')
+        out = self._serve(monkeypatch, capsys, demo_cohana, multiline)
+        assert "cohort_size" in out.out
+        assert "error:" not in out.err
+
+    def test_multiline_without_semicolon_completes_on_parse(
+            self, demo_cohana, monkeypatch, capsys):
+        multiline = ('SELECT country, COHORTSIZE, AGE, UserCount()\n'
+                     'FROM D BIRTH FROM action = "launch"\n'
+                     'COHORT BY country\n'
+                     f'{CLI_QUERY}\n')
+        out = self._serve(monkeypatch, capsys, demo_cohana, multiline,
+                          extra=("--stats",))
+        assert "[batch of 2" in out.out
+
+    def test_parseable_prefix_still_extends(self, demo_cohana,
+                                            monkeypatch, capsys):
+        """A buffer that already parses is held, not executed: the next
+        line may legally extend it (clauses accept either order), and
+        splitting early would silently run a different query."""
+        text = ('SELECT country, COHORTSIZE, AGE, UserCount() '
+                'FROM D BIRTH FROM action = "launch" '
+                'COHORT BY country\n'
+                'AGE ACTIVITIES IN action = "shop";\n')
+        out = self._serve(monkeypatch, capsys, demo_cohana, text)
+        assert out.out.count("== ") == 1  # ONE statement, with the
+        assert "error:" not in out.err    # age clause applied
+
+    def test_broken_fragment_does_not_swallow_next_query(
+            self, demo_cohana, monkeypatch, capsys):
+        out = self._serve(monkeypatch, capsys, demo_cohana,
+                          f"SELECT oops FROM\n{CLI_QUERY}\n")
+        assert "error:" in out.err
+        assert "cohort_size" in out.out
+
+    def test_trailing_fragment_reported_at_eof(self, demo_cohana,
+                                               monkeypatch, capsys):
+        out = self._serve(monkeypatch, capsys, demo_cohana,
+                          "SELECT country, COHORTSIZE FROM D\n")
+        assert "error:" in out.err
 
 
 class TestQueryCacheCLI:

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Documentation link checker (stdlib only; used by the CI docs job).
+"""Documentation link + section checker (stdlib only; CI docs job).
 
 Scans every tracked Markdown file for inline links and validates that
 relative targets exist in the repository. External (http/https/mailto)
 links and pure in-page anchors are skipped; ``path#anchor`` links are
-checked for the path part only.
+checked for the path part only. Additionally, load-bearing sections —
+headings that code comments, README anchors or CI legs point at — must
+exist in their documents (see ``_REQUIRED_SECTIONS``), so renaming or
+dropping one fails the docs job instead of silently orphaning links.
 
 Usage::
 
@@ -28,6 +31,24 @@ _SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 #: Directories never scanned for Markdown sources.
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 
+#: Headings (exact lines) that must exist in specific documents.
+#: Anchored from code, README links or CI; keep in sync when renaming.
+_REQUIRED_SECTIONS = {
+    "ARCHITECTURE.md": (
+        "## Sharded tables and append-only ingestion",
+        "## The query service: fingerprint → cache → pipeline",
+        "## Zone maps and compressed-domain scans",
+    ),
+    "README.md": (
+        "## Growing tables: sharded storage and `ingest --append`",
+        "## Caching and serving",
+    ),
+    "docs/query-language.md": (
+        "### Quoted strings",
+        "## Birth selection",
+    ),
+}
+
 
 def markdown_files(args: list[str]) -> list[Path]:
     """The files to check: CLI args, or every .md under the repo."""
@@ -43,6 +64,12 @@ def check_file(path: Path) -> list[str]:
     if not path.is_file():
         return [f"{path}: file does not exist"]
     text = path.read_text(encoding="utf-8")
+    relative_name = path.resolve().relative_to(ROOT).as_posix()
+    lines = set(text.splitlines())
+    for heading in _REQUIRED_SECTIONS.get(relative_name, ()):
+        if heading not in lines:
+            problems.append(f"{relative_name}: required section "
+                            f"missing -> {heading!r}")
     for lineno, line in enumerate(text.splitlines(), start=1):
         for match in _LINK.finditer(line):
             target = match.group(1)
