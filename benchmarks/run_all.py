@@ -8,8 +8,8 @@ Usage::
 
 The reports print the same rows/series the paper plots; EXPERIMENTS.md
 records paper-vs-measured shape for each. Absolute numbers differ from
-the paper (pure Python + synthetic data at ~1/1000 size); orderings,
-slopes and crossovers are the reproduction target.
+the paper (Python/numpy kernels + synthetic data at ~1/1000 size);
+orderings, slopes and crossovers are the reproduction target.
 
 The ``parallel`` experiment sweeps the chunk pipeline's worker count
 across all three backends (``serial`` / ``threads`` / ``processes``)
@@ -32,6 +32,13 @@ into a sharded table directory, measuring each append (one new shard +
 manifest update) against the full single-file rewrite of the same
 accumulated data, then checks sharded-vs-single scan parity and
 records per-shard pruning counters in ``BENCH_shards.json``.
+
+The ``views`` experiment registers a materialized view over a growing
+sharded table and, after every append, refreshes it (exactly one new
+shard may be scanned), times the warm serve (re-merge of cached
+per-shard partials) against direct execution, and checks digest parity
+on every scan backend; ``BENCH_views.json`` records the per-append
+curve and the flat-latency / parity verdicts.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from pathlib import Path
 
 from repro.bench import (
     compressed_scan_records,
+    materialized_view_records,
     parallel_scaling,
     parallel_scaling_records,
     selective_scan_records,
@@ -222,6 +230,40 @@ def run_shards(seed: int, out: Path, scale: int = 4,
     print(f"\n[shard-append results written to {out}]")
 
 
+def run_views(seed: int, out: Path, scale: int = 4,
+              n_batches: int = 4, chunk_rows: int = 1024) -> None:
+    """Run the materialized-view serving experiment and record
+    BENCH_views.json (per-append refresh/serve stats, the flat-latency
+    witness, and digest parity against direct execution on every scan
+    backend)."""
+    payload = materialized_view_records(scale=scale, n_batches=n_batches,
+                                        chunk_rows=chunk_rows)
+    print("\nmaterialized view serve vs direct execution:")
+    for step in payload["steps"]:
+        print(f"  append {step['step']}: refresh scanned "
+              f"{step['shards_new']}/{step['shards_total']} shards  "
+              f"serve {step['serve_seconds']:.5f}s  "
+              f"direct {step['direct_seconds']:.5f}s  "
+              f"({step['rows_total']} rows)")
+    first, last = (payload["first_serve_seconds"],
+                   payload["last_serve_seconds"])
+    print(f"  backends: " + ", ".join(
+        f"{name} {'OK' if rec['parity'] else 'MISMATCH'}"
+        for name, rec in payload["backends"].items()))
+    print(f"  parity: {'OK' if payload['parity_ok'] else 'MISMATCH'}; "
+          f"refresh incremental: "
+          f"{'yes' if payload['refresh_ok'] else 'NO'}; "
+          f"serve flat (last {last:.5f}s vs first {first:.5f}s): "
+          f"{'yes' if payload['flat_ok'] else 'NO'}")
+    payload = {
+        "experiment": "materialized_views",
+        "seed": seed,
+        **payload,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[materialized-view results written to {out}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the paper's figure experiments")
@@ -252,6 +294,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_shards.json",
                         help="where the shard-append experiment "
                              "records its timings")
+    parser.add_argument("--views-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_views.json",
+                        help="where the materialized-view experiment "
+                             "records its timings")
     parser.add_argument("--scale", type=int, default=None,
                         help="override the dataset scale of the "
                              "compressed/service experiments (smoke "
@@ -267,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    recorded = ("parallel", "compressed", "service", "shards")
+    recorded = ("parallel", "compressed", "service", "shards", "views")
     figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
@@ -284,6 +331,9 @@ def main(argv: list[str] | None = None) -> int:
     if "shards" in selected:
         run_shards(args.seed, args.shards_out,
                    **({"scale": args.scale} if args.scale else {}))
+    if "views" in selected:
+        run_views(args.seed, args.views_out,
+                  **({"scale": args.scale} if args.scale else {}))
     return 0
 
 

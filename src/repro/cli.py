@@ -12,7 +12,13 @@ Commands:
   ``--no-cache`` bypasses it);
 * ``serve``    — serve queries from stdin against a ``.cohana`` file or
   sharded table directory: a REPL on a terminal, a concurrent batch
-  reader on piped input;
+  reader on piped input. Accepts ``CREATE MATERIALIZED VIEW`` / ``DROP
+  MATERIALIZED VIEW`` statements and the ``.views`` / ``.view <name>``
+  meta commands;
+* ``view``     — manage materialized views of a sharded table directory
+  (``create`` / ``list`` / ``refresh`` / ``drop`` / ``serve``); view
+  definitions and per-shard partials persist next to MANIFEST.json, so
+  refreshes after an append scan only the new shards;
 * ``bench``    — regenerate the paper's evaluation figures.
 
 The CSV commands assume the benchmark's game schema (player / time /
@@ -27,7 +33,12 @@ import sys
 import time
 
 from repro.cohana import CohanaEngine
-from repro.cohana.parser import parse_cohort_query
+from repro.cohana.parser import (
+    ParsedCreateView,
+    ParsedDropView,
+    parse_cohort_query,
+    parse_statement,
+)
 from repro.datagen import GameConfig, game_schema, generate, scale_dataset
 from repro.errors import ReproError
 from repro.schema import parse_timestamp
@@ -128,6 +139,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--origin", default=None,
                    help="time-bin origin date for COHORT BY time")
 
+    p = sub.add_parser("view", help="manage materialized views of a "
+                                    "table (persisted next to a "
+                                    "sharded table's MANIFEST.json)")
+    vsub = p.add_subparsers(dest="view_command", required=True)
+
+    v = vsub.add_parser("create", help="register + refresh a view")
+    v.add_argument("input", help="sharded table dir (or .cohana file)")
+    v.add_argument("text", help="CREATE MATERIALIZED VIEW <name> AS "
+                                "<cohort query>")
+    v.add_argument("--age-unit", default="day")
+    v.add_argument("--origin", default=None,
+                   help="time-bin origin date for COHORT BY time")
+
+    v = vsub.add_parser("list", help="list persisted views and their "
+                                     "per-shard freshness")
+    v.add_argument("input", help="sharded table dir")
+
+    v = vsub.add_parser("refresh", help="incrementally refresh views "
+                                        "(scans only new shards)")
+    v.add_argument("input", help="sharded table dir")
+    v.add_argument("names", nargs="*",
+                   help="view names (default: all persisted views)")
+
+    v = vsub.add_parser("drop", help="drop a view (definition and "
+                                     "partial files)")
+    v.add_argument("input", help="sharded table dir")
+    v.add_argument("name", help="view name")
+
+    v = vsub.add_parser("serve", help="serve a view: incremental "
+                                      "refresh + re-merge of cached "
+                                      "per-shard partials")
+    v.add_argument("input", help="sharded table dir")
+    v.add_argument("name", help="view name")
+    v.add_argument("--pivot", action="store_true",
+                   help="print the pivoted cohort report too")
+    v.add_argument("--stats", action="store_true",
+                   help="print a [shards scanned/total, seconds] line")
+
     p = sub.add_parser("bench", help="run the figure experiments")
     p.add_argument("names", nargs="*", help="experiment names "
                                             "(default: all)")
@@ -221,6 +270,8 @@ def _dispatch(args) -> int:
         return 0
     if args.command == "serve":
         return _serve(args)
+    if args.command == "view":
+        return _view_cmd(args)
     if args.command == "bench":
         from repro.bench.report_runner import run_and_print
         return run_and_print(args.names)
@@ -267,11 +318,34 @@ def _serve(args) -> int:
         elif cmd == ".explain" and rest:
             print(service.explain(bind(rest),
                                   scan_mode=args.scan_mode))
+        elif cmd == ".views":
+            ensure_loaded()
+            names = engine.views()
+            if not names:
+                print("no views registered")
+            for vname in names:
+                s = engine.view_status(vname)
+                print(f"{s['name']}: table={s['table']} "
+                      f"shards={s['shards_cached']}/{s['shards_total']} "
+                      f"fingerprint={s['fingerprint'][:12]}")
+        elif cmd == ".view" and rest:
+            ensure_loaded()
+            start = time.perf_counter()
+            result, stats = service.serve_view(rest)
+            elapsed = time.perf_counter() - start
+            print(result.to_text())
+            if args.stats:
+                print(f"[{stats.cache_disposition} "
+                      f"shards {stats.shards_scanned}/"
+                      f"{stats.shards_total} {elapsed:.4f}s]")
         elif cmd == ".help":
-            print("one cohort query per line; meta commands:\n"
+            print("one statement per line (cohort queries and CREATE /\n"
+                  "DROP MATERIALIZED VIEW); meta commands:\n"
                   "  .stats            cache/service counters\n"
                   "  .clear            drop the caches\n"
                   "  .explain <query>  plan + cache disposition\n"
+                  "  .views            registered views + freshness\n"
+                  "  .view <name>      serve a materialized view\n"
                   "  .quit             exit")
         else:
             print(f"unknown meta command {cmd!r}; try .help",
@@ -279,6 +353,10 @@ def _serve(args) -> int:
         return True
 
     def run_one(text: str) -> None:
+        parsed = parse_statement(text)
+        if isinstance(parsed, (ParsedCreateView, ParsedDropView)):
+            run_ddl(text, parsed)
+            return
         start = time.perf_counter()
         result, stats = service.query_with_stats(
             bind(text), scan_mode=args.scan_mode)
@@ -286,6 +364,38 @@ def _serve(args) -> int:
         print(result.to_text())
         if args.stats:
             print(f"[{stats.cache_disposition} {elapsed:.4f}s]")
+
+    def ensure_loaded() -> None:
+        """Load the served input for paths that carry no FROM clause
+        (``.views``, ``.view``, DROP): attach via the persisted view
+        definitions when no table is loaded yet."""
+        if engine.tables():
+            return
+        from pathlib import Path
+
+        from repro.views import VIEWS_DIRNAME, DiskViewStore
+        definitions = DiskViewStore(
+            Path(args.input) / VIEWS_DIRNAME).load_definitions()
+        if definitions:
+            engine.load_table(definitions[0]["table"], args.input)
+
+    def run_ddl(text: str, parsed) -> None:
+        """Execute one CREATE/DROP MATERIALIZED VIEW statement."""
+        if isinstance(parsed, ParsedCreateView):
+            name = parsed.query.table
+            if name not in engine.tables():
+                engine.load_table(name, args.input)
+        else:
+            ensure_loaded()
+        out = engine.execute_statement(text, **parse_kw)
+        if isinstance(parsed, ParsedCreateView):
+            status = engine.view_status(out.name)
+            print(f"view {out.name}: "
+                  f"{status['shards_cached']}/{status['shards_total']} "
+                  f"shard partials cached")
+        else:
+            print(f"{'dropped' if out else 'no such'} "
+                  f"view {parsed.name}")
 
     if sys.stdin.isatty():  # pragma: no cover - interactive only
         print(f"serving {args.input} "
@@ -322,7 +432,7 @@ def _serve(args) -> int:
 
     def parses(text: str) -> bool:
         try:
-            parse_cohort_query(text)
+            parse_statement(text)
         except ReproError:
             return False
         return True
@@ -361,33 +471,54 @@ def _serve(args) -> int:
     def flush() -> None:
         if not pending:
             return
-        bound = []
+        batch: list[tuple[str, object]] = []
+
+        def run_batch() -> None:
+            if not batch:
+                return
+            start = time.perf_counter()
+            try:
+                pairs = service.query_batch([q for _, q in batch],
+                                            concurrency=args.jobs,
+                                            with_stats=True,
+                                            scan_mode=args.scan_mode)
+            except ReproError as exc:
+                # One failed execution drops its batch, not the
+                # session — the same per-item policy as parse and meta
+                # errors above.
+                print(f"error: batch failed: {exc}", file=sys.stderr)
+                batch.clear()
+                return
+            elapsed = time.perf_counter() - start
+            for (text, _), (result, stats) in zip(batch, pairs):
+                print(f"== {stats.cache_disposition}: {text}")
+                print(result.to_text())
+            if args.stats:
+                print(f"[batch of {len(batch)} in {elapsed:.4f}s, "
+                      f"jobs={args.jobs}]")
+            batch.clear()
+
         for text in pending:
             try:
-                bound.append((text, bind(text)))
+                parsed = parse_statement(text)
+            except ReproError as exc:
+                print(f"error: {text}: {exc}", file=sys.stderr)
+                continue
+            if isinstance(parsed, (ParsedCreateView, ParsedDropView)):
+                # DDL is a barrier: queries batched before it run
+                # first, queries after it see its effect.
+                run_batch()
+                try:
+                    run_ddl(text, parsed)
+                except ReproError as exc:
+                    print(f"error: {text}: {exc}", file=sys.stderr)
+                continue
+            try:
+                batch.append((text, bind(text)))
             except ReproError as exc:
                 print(f"error: {text}: {exc}", file=sys.stderr)
         pending.clear()
-        if not bound:
-            return
-        start = time.perf_counter()
-        try:
-            pairs = service.query_batch([q for _, q in bound],
-                                        concurrency=args.jobs,
-                                        with_stats=True,
-                                        scan_mode=args.scan_mode)
-        except ReproError as exc:
-            # One failed execution drops its batch, not the session —
-            # the same per-item policy as parse and meta errors above.
-            print(f"error: batch failed: {exc}", file=sys.stderr)
-            return
-        elapsed = time.perf_counter() - start
-        for (text, _), (result, stats) in zip(bound, pairs):
-            print(f"== {stats.cache_disposition}: {text}")
-            print(result.to_text())
-        if args.stats:
-            print(f"[batch of {len(bound)} in {elapsed:.4f}s, "
-                  f"jobs={args.jobs}]")
+        run_batch()
 
     keep_going = True
     for raw in sys.stdin:
@@ -411,6 +542,83 @@ def _serve(args) -> int:
         drain_fragment()
         flush()
     return 0
+
+
+def _view_cmd(args) -> int:
+    """The ``view`` subcommands over a table's persisted views."""
+    from pathlib import Path
+
+    from repro.views import VIEWS_DIRNAME, DiskViewStore
+
+    engine = CohanaEngine()
+
+    def attach_table() -> bool:
+        """Load the input under its persisted views' table name; the
+        engine re-attaches every stored definition during load."""
+        store = DiskViewStore(Path(args.input) / VIEWS_DIRNAME)
+        definitions = store.load_definitions()
+        if not definitions:
+            print(f"error: no persisted views under {args.input}",
+                  file=sys.stderr)
+            return False
+        engine.load_table(definitions[0]["table"], args.input)
+        return True
+
+    if args.view_command == "create":
+        parsed = parse_statement(args.text)
+        if not isinstance(parsed, ParsedCreateView):
+            print("error: expected a CREATE MATERIALIZED VIEW "
+                  "statement", file=sys.stderr)
+            return 1
+        engine.load_table(parsed.query.table, args.input)
+        origin = parse_timestamp(args.origin) if args.origin else 0
+        view = engine.execute_statement(args.text,
+                                        age_unit=args.age_unit,
+                                        time_bin_origin=origin)
+        status = engine.view_status(view.name)
+        print(f"created view {view.name} over {view.table}: "
+              f"{status['shards_cached']}/{status['shards_total']} "
+              f"shard partials cached")
+        return 0
+    if args.view_command == "list":
+        if not attach_table():
+            return 1
+        for name in engine.views():
+            s = engine.view_status(name)
+            print(f"{s['name']}: table={s['table']} "
+                  f"shards={s['shards_cached']}/{s['shards_total']} "
+                  f"fingerprint={s['fingerprint'][:12]}")
+        return 0
+    if args.view_command == "refresh":
+        if not attach_table():
+            return 1
+        for name in (args.names or engine.views()):
+            stats = engine.refresh_view(name)
+            print(f"{name}: scanned {stats.shards_scanned} of "
+                  f"{stats.shards_total} shards")
+        return 0
+    if args.view_command == "drop":
+        if not attach_table():
+            return 1
+        engine.drop_view(args.name)
+        print(f"dropped view {args.name}")
+        return 0
+    if args.view_command == "serve":
+        if not attach_table():
+            return 1
+        start = time.perf_counter()
+        result, stats = engine.serve_view(args.name)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        if args.pivot:
+            print()
+            print(result.pivot().to_text())
+        if args.stats:
+            print(f"[shards {stats.shards_scanned}/"
+                  f"{stats.shards_total} {elapsed:.4f}s]")
+        return 0
+    raise AssertionError(
+        f"unhandled view command {args.view_command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

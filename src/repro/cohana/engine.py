@@ -48,7 +48,12 @@ from pathlib import Path
 
 from repro.errors import CatalogError, ExecutionError
 from repro.cohana.binder import bind_cohort_query
-from repro.cohana.parser import parse_cohort_query
+from repro.cohana.parser import (
+    ParsedCreateView,
+    ParsedDropView,
+    parse_cohort_query,
+    parse_statement,
+)
 from repro.cohana.pipeline import (
     ChunkScheduler,
     ExecStats,
@@ -96,6 +101,11 @@ class CohanaEngine:
         #: update waiting to happen (two registrations sharing one
         #: ``mem:`` token would let stale cached results survive).
         self._catalog_lock = threading.RLock()
+        # Imported here, not at module top: the view catalog pulls in
+        # the service-layer fingerprint module, whose package imports
+        # this module back.
+        from repro.views.catalog import ViewCatalog
+        self._view_catalog = ViewCatalog(self)
 
     # -- storage manager ------------------------------------------------------
 
@@ -149,9 +159,15 @@ class CohanaEngine:
             self._stamp_version(name, compressed)
 
     def drop_table(self, name: str) -> None:
-        """Remove ``name`` from the catalog."""
+        """Remove ``name`` from the catalog, along with every
+        materialized view registered over it (their definitions and
+        partial files included — no orphaned view state survives)."""
         with self._catalog_lock:
             self.table(name)
+            # While the table is still registered, its view store is
+            # still reachable (the disk store location derives from the
+            # table's source path).
+            self._view_catalog.drop_table_views(name)
             del self._catalog[name]
             del self._versions[name]
 
@@ -175,12 +191,21 @@ class CohanaEngine:
     def load_table(self, name: str, path: str | Path,
                    replace: bool = False) -> CompressedActivityTable:
         """Load a ``.cohana`` file (or sharded table directory) and
-        register it under ``name`` (``replace`` as above)."""
+        register it under ``name`` (``replace`` as above).
+
+        Views persisted next to a sharded table's manifest are
+        re-attached automatically, with their cached per-shard partials
+        intact — a view survives a process restart warm.
+        """
         compressed = load(path)
-        self.register(name, compressed, replace=replace)
+        with self._catalog_lock:
+            self.register(name, compressed, replace=replace)
+            self._view_catalog.attach(name)
         return compressed
 
-    def refresh_table(self, name: str) -> CompressedActivityTable:
+    def refresh_table(self, name: str,
+                      refresh_views: bool = True,
+                      ) -> CompressedActivityTable:
         """Re-load a disk-backed table from its ``source_path``.
 
         The canonical way to pick up appended shards (or a rewritten
@@ -188,13 +213,23 @@ class CohanaEngine:
         the query service invalidates exactly when the bytes changed —
         a byte-identical refresh keeps the same ``sha256:`` token and
         every cached result stays warm.
+
+        Materialized views over the table are refreshed incrementally
+        afterwards (``refresh_views=False`` defers that to the next
+        serve): partials are keyed by *shard content digest*, so only
+        shards new since the last refresh are scanned — zero shards
+        for a byte-identical reload.
         """
         source = getattr(self.table(name), "source_path", None)
         if not source:
             raise CatalogError(
                 f"table {name!r} was not loaded from disk; re-register "
                 f"it instead of refreshing")
-        return self.load_table(name, source, replace=True)
+        table = self.load_table(name, source, replace=True)
+        if refresh_views:
+            for view in self._view_catalog.views_of(name):
+                self._view_catalog.refresh(view.name)
+        return table
 
     # -- parser / binder -------------------------------------------------------
 
@@ -205,6 +240,108 @@ class CohanaEngine:
         schema = self.table(parsed.table).schema
         return bind_cohort_query(parsed, schema, age_unit=age_unit,
                                  time_bin_origin=time_bin_origin)
+
+    # -- materialized views ----------------------------------------------------
+
+    def create_view(self, name: str, query: "CohortQuery | str",
+                    replace: bool = False, refresh: bool = True,
+                    text: str | None = None,
+                    age_unit: str = "day", time_bin_origin: int = 0):
+        """Register a materialized view ``name`` over a cohort query.
+
+        ``query`` may be statement text (parsed and bound here; the
+        text is persisted next to a sharded table's manifest so the
+        view survives restarts) or an already-bound
+        :class:`~repro.cohort.query.CohortQuery` (pass ``text`` to make
+        it persistable). With ``refresh=True`` (default) the view's
+        per-shard partials are computed immediately; cached partials
+        from an earlier life of the same definition are reused, so
+        recreating a known view over unchanged shards scans nothing.
+
+        Returns the registered
+        :class:`~repro.views.catalog.MaterializedView`.
+        """
+        with self._catalog_lock:
+            if isinstance(query, str):
+                text = query
+                query = self.parse(query, age_unit=age_unit,
+                                   time_bin_origin=time_bin_origin)
+            view = self._view_catalog.create(name, query, text=text,
+                                             replace_existing=replace)
+        if refresh:
+            self.refresh_view(name)
+        return view
+
+    def drop_view(self, name: str, missing_ok: bool = False) -> bool:
+        """Unregister a view and delete its persisted definition and
+        partial files. Returns True when a view was dropped."""
+        with self._catalog_lock:
+            return self._view_catalog.drop(name, missing_ok=missing_ok)
+
+    def views(self) -> list[str]:
+        """All registered view names."""
+        return self._view_catalog.names()
+
+    def view(self, name: str):
+        """Look up a registered view."""
+        return self._view_catalog.get(name)
+
+    def view_status(self, name: str) -> dict:
+        """A JSON-able freshness summary: how many of the table's
+        current shards have cached partials for this view."""
+        return self._view_catalog.status(name)
+
+    def refresh_view(self, name: str, executor: str = "vectorized",
+                     config: ExecutionConfig | None = None) -> ExecStats:
+        """Bring a view's partial cache up to date incrementally.
+
+        Scans only shards whose content digest has no cached partial:
+        ``stats.shards_scanned`` equals the number of *new* shards (0
+        after a byte-identical reload), ``stats.shards_total`` the
+        table's current shard count.
+        """
+        return self._view_catalog.refresh(name, executor=executor,
+                                          config=config)
+
+    def serve_view(self, name: str, executor: str = "vectorized",
+                   config: ExecutionConfig | None = None,
+                   ) -> tuple[CohortResult, ExecStats]:
+        """Serve a view: incremental refresh + re-merge of cached
+        per-shard partials. Result-identical to executing the view's
+        query directly; only the work done differs."""
+        return self._view_catalog.serve(name, executor=executor,
+                                        config=config)
+
+    def query_view(self, name: str, **kw) -> CohortResult:
+        """:meth:`serve_view` without the stats."""
+        result, _ = self.serve_view(name, **kw)
+        return result
+
+    def execute_statement(self, text: str, age_unit: str = "day",
+                          time_bin_origin: int = 0, **exec_kw):
+        """Run one statement of the extended language.
+
+        A plain cohort query executes and returns its
+        :class:`~repro.cohort.result.CohortResult`; ``CREATE [OR
+        REPLACE] MATERIALIZED VIEW`` registers (and refreshes) the view
+        and returns the :class:`~repro.views.catalog.MaterializedView`;
+        ``DROP MATERIALIZED VIEW [IF EXISTS]`` drops it and returns
+        whether a view existed.
+        """
+        parsed = parse_statement(text)
+        if isinstance(parsed, ParsedCreateView):
+            schema = self.table(parsed.query.table).schema
+            bound = bind_cohort_query(parsed.query, schema,
+                                      age_unit=age_unit,
+                                      time_bin_origin=time_bin_origin)
+            return self.create_view(parsed.name, bound,
+                                    replace=parsed.or_replace,
+                                    text=parsed.query_text)
+        if isinstance(parsed, ParsedDropView):
+            return self.drop_view(parsed.name,
+                                  missing_ok=parsed.if_exists)
+        return self.query(text, age_unit=age_unit,
+                          time_bin_origin=time_bin_origin, **exec_kw)
 
     # -- query executor --------------------------------------------------------
 

@@ -12,6 +12,12 @@ The BIRTH FROM and AGE ACTIVITIES IN clauses may appear in either order
 (the paper: "the order ... is irrelevant") and both selection conditions
 are optional. Parsing is schema-independent; :mod:`repro.cohana.binder`
 resolves the result against a concrete activity schema.
+
+Beyond plain queries, :func:`parse_statement` accepts the materialized
+view DDL layered on top of the language::
+
+    CREATE [OR REPLACE] MATERIALIZED VIEW weekly AS SELECT ... COHORT BY ...
+    DROP MATERIALIZED VIEW [IF EXISTS] weekly
 """
 
 from __future__ import annotations
@@ -63,13 +69,87 @@ class ParsedCohortQuery:
     cohort_time_bin: str | None = None
 
 
+@dataclass(frozen=True)
+class ParsedCreateView:
+    """``CREATE [OR REPLACE] MATERIALIZED VIEW <name> AS <query>``.
+
+    ``query_text`` is the raw source text of the inner query (the
+    statement from ``AS`` onwards) — what the view catalog persists so
+    the view can be re-parsed and re-bound after a restart.
+    """
+
+    name: str
+    query: ParsedCohortQuery
+    query_text: str
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class ParsedDropView:
+    """``DROP MATERIALIZED VIEW [IF EXISTS] <name>``."""
+
+    name: str
+    if_exists: bool = False
+
+
+#: Union of everything :func:`parse_statement` can produce.
+ParsedStatement = ParsedCohortQuery | ParsedCreateView | ParsedDropView
+
+
+def parse_statement(text: str) -> ParsedStatement:
+    """Parse one statement: a cohort query or materialized-view DDL.
+
+    Raises:
+        ParseError: on any syntax error.
+    """
+    stream = TokenStream(tokenize(text))
+    if stream.peek_is_keyword("CREATE"):
+        stream.next()
+        or_replace = False
+        if stream.accept_keyword("OR"):
+            stream.expect_keyword("REPLACE")
+            or_replace = True
+        stream.expect_keyword("MATERIALIZED")
+        stream.expect_keyword("VIEW")
+        name = stream.expect_ident().text
+        stream.expect_keyword("AS")
+        start = stream.peek().position
+        query = _parse_query(stream)
+        # The persisted definition is the query exactly as written
+        # after AS, minus the statement terminator.
+        query_text = text[start:].strip().rstrip(";").rstrip()
+        return ParsedCreateView(name=name, query=query,
+                                query_text=query_text,
+                                or_replace=or_replace)
+    if stream.peek_is_keyword("DROP"):
+        stream.next()
+        stream.expect_keyword("MATERIALIZED")
+        stream.expect_keyword("VIEW")
+        if_exists = False
+        if stream.accept_keyword("IF"):
+            stream.expect_keyword("EXISTS")
+            if_exists = True
+        name = stream.expect_ident().text
+        stream.accept_symbol(";")
+        if not stream.at_end():
+            token = stream.peek()
+            raise ParseError(f"unexpected token {token.text!r} after "
+                             "DROP MATERIALIZED VIEW", token.position)
+        return ParsedDropView(name=name, if_exists=if_exists)
+    return _parse_query(stream)
+
+
 def parse_cohort_query(text: str) -> ParsedCohortQuery:
     """Parse a cohort query statement.
 
     Raises:
         ParseError: on any syntax error.
     """
-    stream = TokenStream(tokenize(text))
+    return _parse_query(TokenStream(tokenize(text)))
+
+
+def _parse_query(stream: TokenStream) -> ParsedCohortQuery:
+    """Parse a cohort query from an open token stream."""
     stream.expect_keyword("SELECT")
     select_items = _parse_select_list(stream)
     stream.expect_keyword("FROM")

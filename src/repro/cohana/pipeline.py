@@ -89,10 +89,12 @@ class ExecStats:
     direct engine executions leave them at zero. ``cache_disposition``
     records how the service answered this call: ``'hit'`` (served from
     cache), ``'miss'`` (executed and cached), ``'bypass'`` (caching
-    disabled for the call) or ``'invalidated'`` (a cached result
+    disabled for the call), ``'invalidated'`` (a cached result
     existed but its table version token no longer matches — executed
-    and re-cached). On a hit the scan counters describe the *original*
-    cold execution that produced the cached result.
+    and re-cached) or ``'refresh'`` (a materialized view was served
+    after incrementally scanning newly appended shards; see
+    :mod:`repro.views`). On a hit the scan counters describe the
+    *original* cold execution that produced the cached result.
     """
 
     chunks_total: int = 0
@@ -467,6 +469,71 @@ def _decode_partial(shard: CompressedActivityTable, query: CohortQuery,
             if slot is not None:
                 mine[i] = merge_partial(funcs[i], mine[i], slot)
     return out
+
+
+def fold_partial(into: ChunkPartial, partial: ChunkPartial,
+                 funcs: list[str]) -> None:
+    """Merge one partial into another, counters included.
+
+    Both partials must carry their labels in the same space (both
+    id-space from the same table, or both value space); ``funcs`` is the
+    per-slot aggregate function list from the query's SELECT order.
+    """
+    into.rows_scanned += partial.rows_scanned
+    into.users_seen += partial.users_seen
+    into.users_qualified += partial.users_qualified
+    into.tuples_aggregated += partial.tuples_aggregated
+    for label, count in partial.cohort_sizes.items():
+        into.add_cohort_size(label, count)
+    for key, slots in partial.buckets.items():
+        mine = into.buckets.setdefault(key, [None] * into.n_aggregates)
+        for i, slot in enumerate(slots):
+            if slot is not None:
+                mine[i] = merge_partial(funcs[i], mine[i], slot)
+
+
+def shard_value_partial(shard: CompressedActivityTable, query: CohortQuery,
+                        kernel: "ChunkKernel | str" = "vectorized",
+                        config: ExecutionConfig | None = None,
+                        pushdown: bool = True, prune: bool = True,
+                        stats: ExecStats | None = None) -> ChunkPartial:
+    """Scan one shard into a single *value-space* :class:`ChunkPartial`.
+
+    This is the unit of work the materialized-view store caches: because
+    no user spans a chunk (writer invariant) and no user spans shards
+    (:func:`~repro.storage.sharded.append_shard` invariant), the returned
+    partial merges exactly with any other shard's partial — including
+    USERCOUNT. Labels are decoded through the owning shard's dictionaries
+    (shards have independent id spaces), so partials from different
+    shards, or from the same shard cached at different times, are
+    directly comparable.
+
+    ``stats``, when given, accumulates the chunk/row counters of this
+    scan (``chunks_total``/``chunks_pruned``/``chunks_scanned`` plus the
+    per-row counters), mirroring what a full sharded run would have
+    recorded for this shard.
+    """
+    kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    config = config or ExecutionConfig()
+    stats = stats if stats is not None else ExecStats()
+    merged = ChunkPartial(n_aggregates=len(query.aggregates))
+    stats.chunks_total += shard.n_chunks
+    plan = shard_plan(shard, query, pushdown, prune, config.scan_mode)
+    if plan.birth_action_gid is None and prune:
+        # Shard-level action miss: nothing to scan (see _run_sharded).
+        stats.chunks_pruned += shard.n_chunks
+        return merged
+    scheduler = ChunkScheduler(shard, plan, kernel, config)
+    funcs = [agg.func for agg in query.aggregates]
+    for partial in scheduler._scan(scheduler.tasks(stats)):
+        if not kernel.decoded_labels:
+            partial = _decode_partial(shard, query, partial)
+        fold_partial(merged, partial, funcs)
+    stats.rows_scanned += merged.rows_scanned
+    stats.users_seen += merged.users_seen
+    stats.users_qualified += merged.users_qualified
+    stats.tuples_aggregated += merged.tuples_aggregated
+    return merged
 
 
 #: Per-worker-process table cache: one lazy table per ``.cohana`` path,

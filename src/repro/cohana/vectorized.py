@@ -114,7 +114,11 @@ class _ChunkExecutor:
     chunk ids and chunk-dictionary global ids are unpacked at most once
     and shared between the compressed evaluator and any decoded
     fallback (``column`` composes them, so switching domains never
-    repeats work).
+    repeats work). Fixed per-chunk unpacks (RLE user triples, chunk
+    dictionaries) live on the storage objects themselves
+    (:meth:`RleColumn.arrays`, :meth:`DictEncodedColumn.global_ids`),
+    so repeated queries over a resident table pay them once, not once
+    per query.
     """
 
     def __init__(self, table: CompressedActivityTable, chunk: Chunk,
@@ -124,7 +128,6 @@ class _ChunkExecutor:
         self._plan = plan
         self._cache: dict[str, np.ndarray] = {}
         self._local_ids: dict[str, np.ndarray] = {}
-        self._chunk_gids: dict[str, np.ndarray] = {}
         self.schema = table.schema
         self.scan_mode = resolve_scan_mode(plan.scan_mode, chunk)
 
@@ -150,11 +153,9 @@ class _ChunkExecutor:
         return self._local_ids[name]
 
     def chunk_gids(self, name: str) -> np.ndarray:
-        """Sorted distinct global ids of a dictionary column (cached)."""
-        if name not in self._chunk_gids:
-            self._chunk_gids[name] = \
-                self._chunk.columns[name].chunk_dict.unpack()
-        return self._chunk_gids[name]
+        """Sorted distinct global ids of a dictionary column (cached on
+        the storage segment, shared across queries)."""
+        return self._chunk.columns[name].global_ids()
 
     def global_dictionary(self, name: str):
         return self._table.dictionary(name)
@@ -200,9 +201,7 @@ class _ChunkExecutor:
         partial.rows_scanned += chunk.n_rows
 
         rle = chunk.users
-        run_ids = rle.user_ids.unpack()
-        run_starts = rle.starts.unpack()
-        run_counts = rle.counts.unpack()
+        run_ids, run_starts, run_counts = rle.arrays()
         n_runs = len(run_ids)
         partial.users_seen += n_runs
         if n_runs == 0:

@@ -27,6 +27,7 @@ specs, literals), whose ``repr`` is deterministic and total — that
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace
 
 from repro.cohort.query import CohortQuery
 
@@ -48,6 +49,22 @@ def query_key(query: CohortQuery) -> str:
 def result_fingerprint(query: CohortQuery, version_token: str) -> str:
     """Result-cache key: hash of the bound query + table version token."""
     payload = f"{version_token}|{query_key(query)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def view_fingerprint(query: CohortQuery) -> str:
+    """Identity of a materialized view *definition*.
+
+    Unlike result fingerprints, no version token is folded in — a view's
+    partial store is keyed ``(view_fingerprint, shard content digest)``,
+    so freshness is decided per shard, not per table version. The table
+    *name* is excluded too (a sharded directory registered under a
+    different catalog name still owns the same persisted partials);
+    everything semantic — conditions, aggregates, age unit, time-bin
+    origin — is part of the bound query's canonical ``repr``.
+    """
+    canonical = replace(query, table=None)
+    payload = f"view{FINGERPRINT_VERSION}|{canonical!r}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

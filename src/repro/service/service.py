@@ -22,11 +22,21 @@ Every call reports its **cache disposition** through
 
 ===============  ====================================================
 ``hit``          served from cache (or a concurrent leader's run)
-``miss``         executed cold and cached
+``miss``         executed cold and cached; for a view, re-merged from
+                 warm per-shard partials (no chunk scanned)
 ``bypass``       caching disabled for this call — executed, not cached
 ``invalidated``  a cached result existed but its table version token
                  is stale — executed cold and re-cached
+``refresh``      a materialized view was served after incrementally
+                 scanning newly appended shards (:meth:`serve_view`)
 ===============  ====================================================
+
+Materialized views (:meth:`QueryService.serve_view`) share the result
+cache with direct queries: a view's result is identical to running its
+bound query, so the fingerprint — and therefore the cached bytes — are
+the same. On a result-cache miss the view is re-merged from its cached
+per-shard partials instead of re-scanned; only shards appended since
+the view's last refresh cost a scan.
 
 Correctness leans on two invariants established elsewhere and tested
 independently: result parity across execution knobs (kernel, backend,
@@ -61,7 +71,7 @@ from repro.service.fingerprint import (
 )
 
 #: Every cache disposition a call can report.
-DISPOSITIONS = ("hit", "miss", "bypass", "invalidated")
+DISPOSITIONS = ("hit", "miss", "bypass", "invalidated", "refresh")
 
 
 @dataclass
@@ -93,12 +103,14 @@ class ServiceCounters:
     misses: int = 0
     bypasses: int = 0
     invalidated: int = 0
+    refreshes: int = 0
     singleflight_waits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "bypasses": self.bypasses,
                 "invalidated": self.invalidated,
+                "refreshes": self.refreshes,
                 "singleflight_waits": self.singleflight_waits}
 
 
@@ -194,6 +206,58 @@ class QueryService:
                                                 len(queries))) as pool:
             futures = [pool.submit(call, q, **kw) for q in queries]
             return [f.result() for f in futures]
+
+    def serve_view(self, name: str, executor: str | None = None,
+                   use_cache: bool | None = None,
+                   ) -> tuple[CohortResult, ExecStats]:
+        """Serve a materialized view through the result cache.
+
+        Views and direct queries share the cache: the view's bound
+        query produces an identical result relation, so its
+        :func:`~repro.service.fingerprint.result_fingerprint` (bound
+        query + table version token) names the same entry — a direct
+        query can warm the view and vice versa.
+
+        Dispositions: ``'hit'`` (result cache), ``'refresh'`` (one or
+        more newly appended shards were scanned into the view's partial
+        store before merging) or ``'miss'`` (re-merged entirely from
+        warm per-shard partials — no chunk scanned). ``use_cache=False``
+        reports ``'bypass'`` and skips the result cache, but still
+        serves from the view's partial store (that is what a view *is*).
+        """
+        executor = executor or self.default_executor
+        view = self.engine.view(name)
+        table, token = self._snapshot(view.table)
+        if not self._use_cache(use_cache):
+            result, stats = self.engine.serve_view(name,
+                                                   executor=executor)
+            with self._lock:
+                self.counters.bypasses += 1
+            return result, replace(stats, cache_disposition="bypass")
+        fingerprint = result_fingerprint(view.query, token)
+        key = query_key(view.query)
+        with self._lock:
+            entry = self.results.get(fingerprint)
+            if entry is not None:
+                self.counters.hits += 1
+                return self._serve_hit(entry)
+        result, stats = self.engine.serve_view(name, executor=executor)
+        disposition = "refresh" if stats.shards_scanned else "miss"
+        entry = CachedEntry(
+            fingerprint=fingerprint, key=key, token=token,
+            table=view.table, result=result, stats=stats,
+            config=ExecutionConfig.resolve(table=table),
+            executor=executor)
+        evicted = self.results.put(fingerprint, entry)
+        with self._lock:
+            self._remember_latest(key, token, fingerprint)
+            if disposition == "refresh":
+                self.counters.refreshes += 1
+            else:
+                self.counters.misses += 1
+        stats = replace(stats, cache_misses=1, cache_evictions=evicted,
+                        cache_disposition=disposition)
+        return self._copy_result(result), stats
 
     def cache_disposition(self, query: CohortQuery | str,
                           use_cache: bool | None = None,

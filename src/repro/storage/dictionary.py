@@ -100,9 +100,24 @@ class DictEncodedColumn:
         """Distinct values in this chunk."""
         return len(self.chunk_dict)
 
+    def global_ids(self) -> np.ndarray:
+        """The chunk dictionary (sorted global ids), unpacked once.
+
+        Pruning probes and every scan of the segment need this array, so
+        the bit-unpack is cached on the (frozen) segment itself instead of
+        per-query executor state. ``object.__setattr__`` is race-safe here
+        because the unpack is deterministic. Callers must treat the
+        returned array as read-only.
+        """
+        cached = getattr(self, "_global_ids", None)
+        if cached is None:
+            cached = self.chunk_dict.unpack()
+            object.__setattr__(self, "_global_ids", cached)
+        return cached
+
     def contains_global_id(self, global_id: int) -> bool:
         """Binary-search the chunk dictionary (the pruning check)."""
-        gids = self.chunk_dict.unpack()
+        gids = self.global_ids()
         pos = int(np.searchsorted(gids, global_id))
         return pos < gids.size and int(gids[pos]) == global_id
 
@@ -113,7 +128,7 @@ class DictEncodedColumn:
         check for equality/IN predicates: ``False`` proves no tuple of
         the chunk can match any of the listed values.
         """
-        gids = self.chunk_dict.unpack()
+        gids = self.global_ids()
         if gids.size == 0:
             return False
         probes = np.asarray(list(global_ids), dtype=np.int64)
@@ -125,8 +140,7 @@ class DictEncodedColumn:
 
     def decode_to_global_ids(self) -> np.ndarray:
         """Per-row global ids for the whole segment (vectorized)."""
-        gids = self.chunk_dict.unpack()
-        return gids[self.chunk_ids.unpack()]
+        return self.global_ids()[self.chunk_ids.unpack()]
 
     def global_id_at(self, position: int) -> int:
         """Random access: the global id of the value at ``position``."""

@@ -46,11 +46,27 @@ class RleColumn:
         """Compressed size of the three packed triple arrays."""
         return self.user_ids.nbytes + self.starts.nbytes + self.counts.nbytes
 
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(user_ids, starts, counts)`` unpacked once per column.
+
+        The bit-unpack is the fixed per-chunk cost every scan pays before
+        touching a single tuple, so the result is cached on the (frozen)
+        column itself rather than in per-query executor state. Storing via
+        ``object.__setattr__`` is safe: the computation is deterministic, so
+        a racing thread at worst recomputes the same arrays. Callers must
+        treat the returned arrays as read-only.
+        """
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            cached = (self.user_ids.unpack(), self.starts.unpack(),
+                      self.counts.unpack())
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
     def triples(self) -> list[tuple[int, int, int]]:
         """All ``(u, f, n)`` triples, decoded."""
-        return list(zip(self.user_ids.unpack().tolist(),
-                        self.starts.unpack().tolist(),
-                        self.counts.unpack().tolist()))
+        ids, starts, counts = self.arrays()
+        return list(zip(ids.tolist(), starts.tolist(), counts.tolist()))
 
     def triple(self, run: int) -> tuple[int, int, int]:
         """The ``(u, f, n)`` triple of run ``run``."""
@@ -59,8 +75,7 @@ class RleColumn:
 
     def expand(self) -> np.ndarray:
         """Decode to one global user id per row (vectorized)."""
-        ids = self.user_ids.unpack()
-        counts = self.counts.unpack()
+        ids, _starts, counts = self.arrays()
         return np.repeat(ids, counts)
 
 

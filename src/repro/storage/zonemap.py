@@ -105,7 +105,7 @@ def build_zone_map(col) -> ZoneMap:
     if isinstance(col, DictEncodedColumn):
         if col.cardinality == 0:
             return ZoneMap(0, 0, 0)
-        gids = col.chunk_dict.unpack()
+        gids = col.global_ids()
         return ZoneMap(int(gids[0]), int(gids[-1]), int(gids.size))
     if isinstance(col, DeltaEncodedColumn):
         if len(col) == 0:

@@ -1,0 +1,256 @@
+"""Persistence for materialized-view partials and definitions.
+
+A view's cached state is a set of **value-space**
+:class:`~repro.cohana.pipeline.ChunkPartial` objects, one per shard,
+keyed ``(view fingerprint, shard content digest)``. Value-space partials
+are JSON-friendly by construction: cohort labels are tuples of strings
+(decoded dictionary values, formatted timestamps) and ints, ages are
+ints, and aggregate states are numbers or ``(sum, count)`` pairs (AVG).
+JSON — not pickle — keeps the on-disk format inspectable and immune to
+code-movement breakage across versions.
+
+Two stores share one interface:
+
+* :class:`DiskViewStore` lives in a ``VIEWS/`` directory next to a
+  sharded table's ``MANIFEST.json``::
+
+      GameActions/
+          MANIFEST.json
+          shard-000001.cohana
+          VIEWS/
+              weekly.view.json            <- definition (rebindable text)
+              partials/<fingerprint>/<shard digest>.json
+
+  Appends never touch existing shard bytes, so existing partial files
+  stay valid verbatim; a byte-identical reload re-derives the same
+  digests and finds every partial warm.
+
+* :class:`MemoryViewStore` backs views over in-memory or single-file
+  tables (keyed by the engine's version token when no content digest
+  exists); it lives for the process only.
+
+All writes are atomic (write-temp + ``os.replace``), matching the
+manifest's discipline; a corrupt or unreadable partial file degrades to
+a cache miss (the shard is re-scanned), never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.cohana.pipeline import ChunkPartial
+from repro.errors import StorageError
+
+#: Directory (inside a sharded table directory) holding view state.
+VIEWS_DIRNAME = "VIEWS"
+#: Partial-file schema version (bump on incompatible layout changes).
+PARTIAL_VERSION = 1
+#: Definition-file schema version.
+DEFINITION_VERSION = 1
+
+
+def encode_partial(partial: ChunkPartial) -> dict:
+    """A JSON-able rendering of one value-space partial."""
+    return {
+        "format": "cohana-view-partial",
+        "version": PARTIAL_VERSION,
+        "n_aggregates": partial.n_aggregates,
+        "rows_scanned": partial.rows_scanned,
+        "users_seen": partial.users_seen,
+        "users_qualified": partial.users_qualified,
+        "tuples_aggregated": partial.tuples_aggregated,
+        "cohort_sizes": [[list(label), count]
+                         for label, count in partial.cohort_sizes.items()],
+        "buckets": [[list(label), age,
+                     [list(s) if isinstance(s, tuple) else s
+                      for s in slots]]
+                    for (label, age), slots in partial.buckets.items()],
+    }
+
+
+def decode_partial(payload: dict, funcs: list[str]) -> ChunkPartial:
+    """Rebuild a :class:`ChunkPartial` from :func:`encode_partial` output.
+
+    ``funcs`` is the query's aggregate function list in SELECT order —
+    needed to restore AVG states to ``(sum, count)`` tuples (JSON turned
+    them into lists).
+
+    Raises:
+        StorageError: on a structurally invalid payload.
+    """
+    if (payload.get("format") != "cohana-view-partial"
+            or payload.get("version") != PARTIAL_VERSION):
+        raise StorageError("not a cohana view partial (format="
+                           f"{payload.get('format')!r}, version="
+                           f"{payload.get('version')!r})")
+    n_aggregates = payload["n_aggregates"]
+    if n_aggregates != len(funcs):
+        raise StorageError(
+            f"view partial has {n_aggregates} aggregate slots, query "
+            f"has {len(funcs)}")
+    partial = ChunkPartial(
+        n_aggregates=n_aggregates,
+        rows_scanned=payload.get("rows_scanned", 0),
+        users_seen=payload.get("users_seen", 0),
+        users_qualified=payload.get("users_qualified", 0),
+        tuples_aggregated=payload.get("tuples_aggregated", 0),
+    )
+    for label, count in payload["cohort_sizes"]:
+        partial.cohort_sizes[tuple(label)] = count
+    for label, age, slots in payload["buckets"]:
+        if len(slots) != n_aggregates:
+            raise StorageError("view partial bucket slot-count mismatch")
+        restored = [tuple(s) if func == "AVG" and s is not None else s
+                    for func, s in zip(funcs, slots)]
+        partial.buckets[(tuple(label), age)] = restored
+    return partial
+
+
+class MemoryViewStore:
+    """In-process store: definitions and partials in plain dicts."""
+
+    def __init__(self):
+        self._partials: dict[tuple[str, str], dict] = {}
+        self._definitions: dict[str, dict] = {}
+
+    # -- partials -------------------------------------------------------------
+
+    def has_partial(self, fingerprint: str, digest: str) -> bool:
+        return (fingerprint, digest) in self._partials
+
+    def partial_digests(self, fingerprint: str) -> set[str]:
+        return {d for f, d in self._partials if f == fingerprint}
+
+    def get_partial(self, fingerprint: str, digest: str,
+                    funcs: list[str]) -> ChunkPartial | None:
+        payload = self._partials.get((fingerprint, digest))
+        if payload is None:
+            return None
+        return decode_partial(payload, funcs)
+
+    def put_partial(self, fingerprint: str, digest: str,
+                    partial: ChunkPartial) -> None:
+        self._partials[(fingerprint, digest)] = encode_partial(partial)
+
+    def drop_partials(self, fingerprint: str) -> int:
+        keys = [k for k in self._partials if k[0] == fingerprint]
+        for key in keys:
+            del self._partials[key]
+        return len(keys)
+
+    # -- definitions ----------------------------------------------------------
+
+    def save_definition(self, payload: dict) -> None:
+        self._definitions[payload["name"]] = dict(payload)
+
+    def load_definitions(self) -> list[dict]:
+        return [dict(p) for _, p in sorted(self._definitions.items())]
+
+    def drop_definition(self, name: str) -> bool:
+        return self._definitions.pop(name, None) is not None
+
+
+class DiskViewStore:
+    """View state persisted inside a sharded table directory.
+
+    Stateless wrapper over the directory: two instances pointing at the
+    same path see the same store, so the engine can recreate it freely.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _partial_path(self, fingerprint: str, digest: str) -> Path:
+        return self.root / "partials" / fingerprint / f"{digest}.json"
+
+    def _definition_path(self, name: str) -> Path:
+        return self.root / f"{name}.view.json"
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- partials -------------------------------------------------------------
+
+    def has_partial(self, fingerprint: str, digest: str) -> bool:
+        return self._partial_path(fingerprint, digest).is_file()
+
+    def partial_digests(self, fingerprint: str) -> set[str]:
+        directory = self.root / "partials" / fingerprint
+        if not directory.is_dir():
+            return set()
+        return {p.stem for p in directory.glob("*.json")}
+
+    def get_partial(self, fingerprint: str, digest: str,
+                    funcs: list[str]) -> ChunkPartial | None:
+        path = self._partial_path(fingerprint, digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return decode_partial(payload, funcs)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, StorageError, KeyError, TypeError):
+            # A damaged partial is a cache miss, never a wrong answer.
+            return None
+
+    def put_partial(self, fingerprint: str, digest: str,
+                    partial: ChunkPartial) -> None:
+        self._write_atomic(self._partial_path(fingerprint, digest),
+                           encode_partial(partial))
+
+    def drop_partials(self, fingerprint: str) -> int:
+        directory = self.root / "partials" / fingerprint
+        if not directory.is_dir():
+            return 0
+        files = list(directory.glob("*.json"))
+        for path in files:
+            path.unlink(missing_ok=True)
+        try:
+            directory.rmdir()
+        except OSError:  # pragma: no cover - leftover foreign files
+            pass
+        return len(files)
+
+    # -- definitions ----------------------------------------------------------
+
+    def save_definition(self, payload: dict) -> None:
+        self._write_atomic(self._definition_path(payload["name"]), payload)
+
+    def load_definitions(self) -> list[dict]:
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.view.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (payload.get("format") == "cohana-view"
+                    and payload.get("version") == DEFINITION_VERSION
+                    and isinstance(payload.get("name"), str)
+                    and isinstance(payload.get("text"), str)):
+                out.append(payload)
+        return out
+
+    def drop_definition(self, name: str) -> bool:
+        path = self._definition_path(name)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    def remove_if_empty(self) -> None:
+        """Delete the ``VIEWS/`` scaffolding once the last view is gone
+        (rmdir only succeeds on empty directories, so foreign files are
+        never touched)."""
+        for path in (self.root / "partials", self.root):
+            try:
+                path.rmdir()
+            except OSError:
+                pass

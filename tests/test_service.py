@@ -241,7 +241,7 @@ class TestResultCache:
 
     def test_dispositions_enumerated(self):
         assert set(DISPOSITIONS) == {"hit", "miss", "bypass",
-                                     "invalidated"}
+                                     "invalidated", "refresh"}
 
 
 # -- invalidation -------------------------------------------------------------

@@ -38,14 +38,17 @@ _REQUIRED_SECTIONS = {
         "## Sharded tables and append-only ingestion",
         "## The query service: fingerprint → cache → pipeline",
         "## Zone maps and compressed-domain scans",
+        "## Materialized views: per-shard partials, incremental refresh",
     ),
     "README.md": (
         "## Growing tables: sharded storage and `ingest --append`",
         "## Caching and serving",
+        "## Materialized views: incremental per-shard refresh",
     ),
     "docs/query-language.md": (
         "### Quoted strings",
         "## Birth selection",
+        "## Materialized views",
     ),
 }
 
