@@ -1,0 +1,107 @@
+"""Shard compaction: many-shard query cost vs the compacted table.
+
+Measures what compaction buys back: a table ingested as many small
+shards pays per-shard planning, digest verification, and mmap setup on
+every query, while the same rows compacted into one shard query at
+single-file cost. Also times the compaction itself (decompress +
+re-compress + atomic manifest publish). ``BENCH_compaction.json``
+additionally records digest parity, version-token survival, and the
+pin-aware GC lifecycle; see ``benchmarks/run_all.py compaction``.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_compaction.py`` — pytest-benchmark
+  timings, one benchmark per path;
+* ``PYTHONPATH=src python benchmarks/bench_compaction.py`` — the
+  figure-style report on stdout.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.bench import dataset
+from repro.bench.experiments import TABLE, _main_query, _user_batches
+from repro.cohana import CohanaEngine
+from repro.storage import append_shard, compact
+
+SCALE = 4
+N_BATCHES = 6
+CHUNK_ROWS = 1024
+
+
+@pytest.fixture(scope="module")
+def batches():
+    table = dataset(SCALE).sorted_by_primary_key()
+    return _user_batches(table, N_BATCHES)
+
+
+def _build_sharded(root: Path, batches) -> Path:
+    shard_dir = root / "sharded"
+    for batch in batches:
+        append_shard(shard_dir, batch, target_chunk_rows=CHUNK_ROWS)
+    return shard_dir
+
+
+def test_compact_many_shards(benchmark, batches, tmp_path_factory):
+    """Compacting N small shards into one (decompress, re-compress,
+    publish, GC)."""
+    benchmark.extra_info.update(figure="compaction", path="compact",
+                                scale=SCALE)
+
+    def setup():
+        root = Path(tempfile.mkdtemp(
+            dir=tmp_path_factory.getbasetemp()))
+        return (_build_sharded(root, batches),), {}
+
+    result = benchmark.pedantic(
+        lambda d: compact(d), setup=setup, rounds=5)
+    assert result.compacted and result.n_rows == sum(
+        len(b) for b in batches)
+
+
+def test_query_many_shards(benchmark, batches, tmp_path):
+    """Query latency over the un-compacted many-shard table."""
+    benchmark.extra_info.update(figure="compaction", path="pre",
+                                scale=SCALE)
+    engine = CohanaEngine()
+    engine.load_table(TABLE, _build_sharded(tmp_path, batches))
+    text = _main_query("Q1")
+    benchmark(lambda: engine.query(text))
+
+
+def test_query_compacted(benchmark, batches, tmp_path):
+    """The same query after compaction: the recovered latency."""
+    benchmark.extra_info.update(figure="compaction", path="post",
+                                scale=SCALE)
+    shard_dir = _build_sharded(tmp_path, batches)
+    compact(shard_dir)
+    engine = CohanaEngine()
+    engine.load_table(TABLE, shard_dir)
+    text = _main_query("Q1")
+    benchmark(lambda: engine.query(text))
+
+
+def test_compaction_parity(batches, tmp_path):
+    """Compaction changes no query answer."""
+    shard_dir = _build_sharded(tmp_path, batches)
+    engine = CohanaEngine()
+    engine.load_table(TABLE, shard_dir)
+    text = _main_query("Q1")
+    before = engine.query(text).rows
+    compact(shard_dir)
+    engine.refresh_table(TABLE)
+    assert engine.query(text).rows == before
+
+
+def main() -> int:
+    from repro.bench import compaction
+
+    print(compaction(scale=SCALE, n_batches=N_BATCHES,
+                     chunk_rows=CHUNK_ROWS).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

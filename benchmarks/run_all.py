@@ -39,6 +39,14 @@ shard may be scanned), times the warm serve (re-merge of cached
 per-shard partials) against direct execution, and checks digest parity
 on every scan backend; ``BENCH_views.json`` records the per-append
 curve and the flat-latency / parity verdicts.
+
+The ``compaction`` experiment appends the dataset as many small
+shards, compacts them into one, and shows query latency recovering to
+single-file levels while results stay digest-identical, the engine's
+version token (and therefore the service result cache) survives the
+rewrite, and per-batch append cost stays O(new data);
+``BENCH_compaction.json`` records the parity / recovery / token /
+append verdicts.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ import sys
 from pathlib import Path
 
 from repro.bench import (
+    compaction_records,
     compressed_scan_records,
     materialized_view_records,
     parallel_scaling,
@@ -264,6 +273,44 @@ def run_views(seed: int, out: Path, scale: int = 4,
     print(f"\n[materialized-view results written to {out}]")
 
 
+def run_compaction(seed: int, out: Path, scale: int = 4,
+                   n_batches: int = 6, chunk_rows: int = 1024) -> None:
+    """Run the shard-compaction experiment and record
+    BENCH_compaction.json (pre/post/single-file latency per query,
+    digest parity, version-token survival, and the O(new data) append
+    witness)."""
+    payload = compaction_records(scale=scale, n_batches=n_batches,
+                                 chunk_rows=chunk_rows)
+    print("\nshard compaction: many small shards -> one file:")
+    last = payload["steps"][-1]
+    print(f"  {payload['n_shards_pre']} shards appended (last append "
+          f"{last['append_bytes']:,}B vs {payload['single_bytes']:,}B "
+          f"single file); compacted to {payload['n_shards_post']} in "
+          f"{payload['compact_seconds']:.4f}s (generation "
+          f"{payload['generation_pre']} -> "
+          f"{payload['generation_post']}; GC with the old snapshot "
+          f"pinned: {len(payload['gc_while_pinned'])} file(s), after "
+          f"release: {len(payload['gc_after_refresh'])})")
+    for p in payload["parity"]:
+        print(f"  {p['query']}: pre {p['seconds_pre']:.5f}s  post "
+              f"{p['seconds_post']:.5f}s  single "
+              f"{p['seconds_single']:.5f}s  "
+              f"(x{p['recovery_ratio']:.2f} of single)  "
+              f"{'OK' if p['digest_parity'] else 'MISMATCH'}")
+    print(f"  token survives compaction: "
+          f"{'yes' if payload['token_ok'] else 'NO'} (warm service "
+          f"call: {payload['warm_disposition']}); parity: "
+          f"{'OK' if payload['parity_ok'] else 'MISMATCH'}; latency "
+          f"recovered: {'yes' if payload['recovery_ok'] else 'NO'}")
+    payload = {
+        "experiment": "compaction",
+        "seed": seed,
+        **payload,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[compaction results written to {out}]")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the paper's figure experiments")
@@ -299,6 +346,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_views.json",
                         help="where the materialized-view experiment "
                              "records its timings")
+    parser.add_argument("--compaction-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_compaction.json",
+                        help="where the shard-compaction experiment "
+                             "records its timings")
     parser.add_argument("--scale", type=int, default=None,
                         help="override the dataset scale of the "
                              "compressed/service experiments (smoke "
@@ -314,7 +366,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    recorded = ("parallel", "compressed", "service", "shards", "views")
+    recorded = ("parallel", "compressed", "service", "shards", "views",
+                "compaction")
     figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
@@ -334,6 +387,9 @@ def main(argv: list[str] | None = None) -> int:
     if "views" in selected:
         run_views(args.seed, args.views_out,
                   **({"scale": args.scale} if args.scale else {}))
+    if "compaction" in selected:
+        run_compaction(args.seed, args.compaction_out,
+                       **({"scale": args.scale} if args.scale else {}))
     return 0
 
 

@@ -79,6 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "users must be new to the table)")
     p.add_argument("--chunk-rows", type=int, default=65536)
 
+    p = sub.add_parser("compact", help="merge small shards of a "
+                                       "sharded table into one")
+    p.add_argument("table", help="sharded table directory")
+    p.add_argument("--small-rows", type=int, default=None,
+                   help="merge only shards at or under this many rows "
+                        "(default: merge all shards)")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="target chunk rows for the merged shard "
+                        "(default: the table's setting)")
+    p.add_argument("--no-gc", action="store_true",
+                   help="leave superseded shard files on disk instead "
+                        "of garbage-collecting the unpinned ones")
+
+    p = sub.add_parser("retention", help="drop whole shards older "
+                                         "than a time cutoff")
+    p.add_argument("table", help="sharded table directory")
+    p.add_argument("--older-than", required=True,
+                   help="cutoff timestamp (e.g. 2013-05-21, "
+                        "2013-05-21 14:00, or 2013/05/21:1400); a "
+                        "shard is dropped when every tuple in it is "
+                        "older")
+    p.add_argument("--no-gc", action="store_true",
+                   help="leave dropped shard files on disk")
+
     p = sub.add_parser("inspect", help="storage stats of a .cohana file")
     p.add_argument("input", help=".cohana path")
 
@@ -232,6 +256,37 @@ def _dispatch(args) -> int:
               f"{entry['n_chunks']} chunks, {entry['n_bytes']} bytes "
               f"(table: {len(manifest['shards'])} shards, "
               f"{total_rows} tuples)")
+        return 0
+    if args.command == "compact":
+        from repro.storage import compact
+
+        result = compact(args.table, small_rows=args.small_rows,
+                         target_chunk_rows=args.chunk_rows,
+                         gc=not args.no_gc)
+        if not result.compacted:
+            print(f"{args.table}: nothing to compact "
+                  f"(generation {result.generation})")
+            return 0
+        print(f"compacted {len(result.merged)} shards of {args.table} "
+              f"into {result.new_shard} ({result.n_rows} tuples); "
+              f"generation {result.generation}, "
+              f"{len(result.gc_removed)} file(s) garbage-collected")
+        return 0
+    if args.command == "retention":
+        from repro.storage import prune_retention
+
+        cutoff = parse_timestamp(args.older_than)
+        result = prune_retention(args.table, older_than=cutoff,
+                                 gc=not args.no_gc)
+        if not result.pruned:
+            print(f"{args.table}: no shard is entirely older than "
+                  f"{args.older_than} (generation {result.generation})")
+            return 0
+        print(f"dropped {len(result.removed)} shard(s) of "
+              f"{args.table} older than {args.older_than}; "
+              f"{result.kept} shard(s) kept, generation "
+              f"{result.generation}, {len(result.gc_removed)} file(s) "
+              f"garbage-collected")
         return 0
     if args.command == "inspect":
         stats = collect_stats(load(args.input))

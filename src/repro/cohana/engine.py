@@ -112,8 +112,17 @@ class CohanaEngine:
     def _stamp_version(self, name: str,
                        table: CompressedActivityTable) -> None:
         """Record the version token of a (re-)registered table.
-        Caller holds ``self._catalog_lock``."""
-        digest = getattr(table, "content_digest", None)
+        Caller holds ``self._catalog_lock``.
+
+        Sharded tables prefer their *logical* digest (the multiset row
+        hash that survives compaction) over the physical composed
+        digest, so a compaction — new shard files, same rows — keeps
+        the token and the service result caches keyed on it warm,
+        while an append or retention prune still rolls it. Tables
+        without any digest fall back to a per-process counter.
+        """
+        digest = (getattr(table, "logical_digest", None)
+                  or getattr(table, "content_digest", None))
         if digest:
             self._versions[name] = f"sha256:{digest}"
         else:

@@ -12,26 +12,47 @@ from repro.storage.dictionary import (
     GlobalDictionary,
     encode_chunk_strings,
 )
+from repro.storage.compaction import (
+    CompactionResult,
+    RetentionResult,
+    compact,
+    gc_shards,
+    prune_retention,
+    select_small_shards,
+)
 from repro.storage.format import deserialize, load, save, serialize
 from repro.storage.raw import RawFloatColumn
 from repro.storage.reader import CompressedActivityTable
 from repro.storage.rle import RleColumn, encode_users
 from repro.storage.sharded import (
+    CRASH_POINTS,
     MANIFEST_NAME,
+    SHARD_VERIFY_STATS,
     ShardedActivityTable,
     append_shard,
+    clear_shard_verify_cache,
+    combine_logical,
     compose_digest,
     is_sharded_path,
     load_sharded,
+    logical_digest_of,
+    pinned_generations,
+    pinned_shard_files,
+    publish_lock,
+    publish_manifest,
     read_manifest,
+    set_crash_hook,
+    verify_shard_file,
 )
 from repro.storage.stats import ColumnStats, StorageStats, collect_stats
 from repro.storage.writer import DEFAULT_CHUNK_ROWS, compress
 from repro.storage.zonemap import ZoneMap, build_zone_map, build_zone_maps
 
 __all__ = [
+    "CRASH_POINTS",
     "Chunk",
     "ColumnStats",
+    "CompactionResult",
     "CompressedActivityTable",
     "DEFAULT_CHUNK_ROWS",
     "DeltaEncodedColumn",
@@ -41,7 +62,9 @@ __all__ = [
     "MANIFEST_NAME",
     "PackedArray",
     "RawFloatColumn",
+    "RetentionResult",
     "RleColumn",
+    "SHARD_VERIFY_STATS",
     "ShardedActivityTable",
     "StorageStats",
     "ZoneMap",
@@ -49,7 +72,10 @@ __all__ = [
     "bits_needed",
     "build_zone_map",
     "build_zone_maps",
+    "clear_shard_verify_cache",
     "collect_stats",
+    "combine_logical",
+    "compact",
     "compose_digest",
     "compress",
     "deserialize",
@@ -57,11 +83,21 @@ __all__ = [
     "encode_chunk_strings",
     "encode_users",
     "encoded_column_kind",
+    "gc_shards",
     "is_sharded_path",
     "load",
     "load_sharded",
+    "logical_digest_of",
     "pack",
+    "pinned_generations",
+    "pinned_shard_files",
+    "prune_retention",
+    "publish_lock",
+    "publish_manifest",
     "read_manifest",
     "save",
+    "select_small_shards",
     "serialize",
+    "set_crash_hook",
+    "verify_shard_file",
 ]

@@ -1,0 +1,286 @@
+"""Shard compaction, retention, and garbage collection.
+
+Append-only ingestion (:mod:`repro.storage.sharded`) wins O(new-data)
+writes but accumulates small shards forever, and a many-shard table
+pays per-shard planning, verification, and mmap overhead on every
+query. The **compactor** here merges small shards back into one large
+v4 file; **retention** drops whole shards whose time range has aged
+out; the **garbage collector** deletes shard files no manifest — and
+no live reader — references anymore.
+
+All three follow one publish discipline, the generation scheme the
+manifest carries:
+
+1. new shard files are written next to the old ones (exclusive
+   create + fsync) — never in place;
+2. the new manifest, with ``generation`` bumped by one, is published
+   via :func:`repro.storage.sharded.publish_manifest` — fsynced temp
+   file, a single atomic ``os.replace``, directory fsync;
+3. superseded shard files are unlinked only by the GC, which skips
+   files pinned by live readers (:func:`pinned_shard_files`).
+
+A crash at any instant therefore leaves the directory loadable at
+exactly the *previous* generation: the old manifest is untouched until
+the one ``os.replace``, and files it references are never deleted
+before the replace lands. The fault-injection suite
+(``tests/test_crash_consistency.py``) kills the process at every
+:func:`crash_point` to hold the publish path to that contract.
+
+Compaction changes every physical byte it touches — shard digests,
+composed table digest — but not the table's *rows*, so the manifest's
+per-shard logical digests combine to the same table-wide logical
+digest before and after. The engine keys its version token on that
+logical digest, which is how service result caches survive a
+compaction while per-shard plan caches and view partials (keyed on
+physical shard digests) re-key and recompute.
+
+In-process writers (appender, compactor, retention, GC) serialize on
+:func:`repro.storage.sharded.publish_lock`; run one compactor per
+table across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.sharded import (
+    _SHARD_PATTERN,
+    MANIFEST_NAME,
+    _fsync_file,
+    crash_point,
+    load_sharded,
+    logical_digest_of,
+    pinned_shard_files,
+    publish_lock,
+    publish_manifest,
+    read_manifest,
+    shard_entry,
+)
+from repro.storage.writer import compress
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :func:`compact` call did."""
+
+    directory: str
+    #: Manifest generation after the call (unchanged on a no-op).
+    generation: int
+    #: Shard file names merged away (empty on a no-op).
+    merged: tuple[str, ...]
+    #: The replacement shard's file name, or ``None`` on a no-op.
+    new_shard: str | None
+    #: Rows in the replacement shard.
+    n_rows: int
+    #: Files the post-publish GC unlinked (old shards stay on disk
+    #: while pinned; a later :func:`gc_shards` reaps them).
+    gc_removed: tuple[str, ...]
+
+    @property
+    def compacted(self) -> bool:
+        return self.new_shard is not None
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """What one :func:`prune_retention` call did."""
+
+    directory: str
+    generation: int
+    #: Shard file names dropped from the manifest.
+    removed: tuple[str, ...]
+    #: Shards still in the manifest after pruning.
+    kept: int
+    gc_removed: tuple[str, ...]
+
+    @property
+    def pruned(self) -> bool:
+        return bool(self.removed)
+
+
+def select_small_shards(entries: list[dict],
+                        small_rows: int | None) -> list[int]:
+    """Indices of the manifest entries one compaction would merge:
+    every shard at or under the row threshold (all shards when
+    ``small_rows`` is None). Fewer than two candidates means there is
+    nothing to merge."""
+    if small_rows is None:
+        return list(range(len(entries)))
+    return [i for i, entry in enumerate(entries)
+            if entry["n_rows"] <= small_rows]
+
+
+def compact(directory: str | Path, *, small_rows: int | None = None,
+            target_chunk_rows: int | None = None,
+            gc: bool = True) -> CompactionResult:
+    """Merge small shards of the table at ``directory`` into one.
+
+    Decompresses the selected shards (all of them, or only those at or
+    under ``small_rows`` rows), re-compresses the union as a single new
+    shard file, and publishes a manifest at ``generation + 1`` listing
+    the survivors plus the merged shard. Readers that opened the table
+    before the publish keep their pinned generation's files; with
+    ``gc=True`` the unpinned leftovers are unlinked afterwards.
+
+    The merged shard's logical digest is recomputed from its decoded
+    rows, so the table-wide logical digest provably survives the
+    rewrite (and pre-logical manifest entries get backfilled on their
+    way through a compaction).
+
+    Returns a no-op :class:`CompactionResult` when fewer than two
+    shards qualify.
+    """
+    from repro.storage.format import serialize
+
+    directory = Path(directory)
+    with publish_lock(directory):
+        if gc:
+            # Reap leftovers of a previously crashed publish first, so
+            # the shard name this run allocates is free again.
+            gc_shards(directory)
+        table = load_sharded(directory)
+        try:
+            manifest = table.manifest
+            entries = manifest["shards"]
+            picked = select_small_shards(entries, small_rows)
+            if len(picked) < 2:
+                return CompactionResult(
+                    directory=str(directory),
+                    generation=manifest["generation"],
+                    merged=(), new_shard=None, n_rows=0,
+                    gc_removed=())
+            merged = table.shards[picked[0]].decompress()
+            for i in picked[1:]:
+                merged = merged.concat(table.shards[i].decompress())
+            merged = merged.sorted_by_primary_key()
+            chunk_rows = (target_chunk_rows
+                          or manifest["target_chunk_rows"])
+            compressed = compress(merged, target_chunk_rows=chunk_rows,
+                                  assume_sorted=True)
+            data = serialize(compressed)
+            next_index = manifest["next_shard_index"]
+            shard_name = _SHARD_PATTERN.format(next_index)
+            shard_path = directory / shard_name
+            try:
+                with open(shard_path, "xb") as f:
+                    f.write(data)
+                    _fsync_file(f)
+            except FileExistsError:
+                raise StorageError(
+                    f"orphan shard file in the way: {shard_path} "
+                    f"(leftover of a crashed publish) — run gc_shards "
+                    f"first or retry with gc=True") from None
+            crash_point("shard_written", shard_path)
+            new_entry = shard_entry(compressed, data, shard_name,
+                                    logical_digest_of(merged))
+            picked_set = set(picked)
+            survivors = [entry for i, entry in enumerate(entries)
+                         if i not in picked_set]
+            new_manifest = dict(manifest)
+            new_manifest["shards"] = survivors + [new_entry]
+            new_manifest["next_shard_index"] = next_index + 1
+            new_manifest["generation"] = manifest["generation"] + 1
+            publish_manifest(directory, new_manifest)
+            merged_names = tuple(entries[i]["path"] for i in picked)
+            generation = new_manifest["generation"]
+        finally:
+            # The compactor's own snapshot must unpin before GC, or it
+            # would shield the very files it just superseded.
+            table.release()
+        removed = tuple(gc_shards(directory)) if gc else ()
+    return CompactionResult(
+        directory=str(directory), generation=generation,
+        merged=merged_names, new_shard=shard_name,
+        n_rows=compressed.n_rows, gc_removed=removed)
+
+
+def prune_retention(directory: str | Path, *, older_than: int,
+                    gc: bool = True) -> RetentionResult:
+    """Drop whole shards whose entire time range predates
+    ``older_than`` (exclusive: a shard survives if any of its tuples
+    is at or after the cutoff).
+
+    Retention is shard-granular by design: dropping a whole shard
+    cannot split a user across shards (the append invariant holds for
+    the survivors) and costs O(1) per shard — no rewrite. Shards
+    written before time ranges were recorded fall back to the time
+    range in their own header.
+
+    Raises:
+        StorageError: when the cutoff would remove every shard —
+            an empty manifest is unloadable; delete the directory
+            instead if that is really intended.
+    """
+    directory = Path(directory)
+    with publish_lock(directory):
+        table = load_sharded(directory)
+        try:
+            manifest = table.manifest
+            time_col = table.schema.time.name
+            dropped, kept = [], []
+            for shard, entry in zip(table.shards, manifest["shards"]):
+                rng = entry.get("time_range")
+                if rng is None:
+                    grange = shard.global_ranges.get(time_col)
+                    if grange is not None:
+                        rng = [grange.min_value, grange.max_value]
+                if rng is not None and rng[1] < older_than:
+                    dropped.append(entry)
+                else:
+                    kept.append(entry)
+            if not dropped:
+                return RetentionResult(
+                    directory=str(directory),
+                    generation=manifest["generation"],
+                    removed=(), kept=len(kept), gc_removed=())
+            if not kept:
+                raise StorageError(
+                    f"retention cutoff {older_than} would remove every "
+                    f"shard of {directory}; refusing to empty the "
+                    f"table — delete the directory to drop it")
+            new_manifest = dict(manifest)
+            new_manifest["shards"] = kept
+            new_manifest["generation"] = manifest["generation"] + 1
+            publish_manifest(directory, new_manifest)
+            generation = new_manifest["generation"]
+        finally:
+            table.release()
+        removed = tuple(gc_shards(directory)) if gc else ()
+    return RetentionResult(
+        directory=str(directory), generation=generation,
+        removed=tuple(entry["path"] for entry in dropped),
+        kept=len(kept), gc_removed=removed)
+
+
+def gc_shards(directory: str | Path) -> list[str]:
+    """Unlink shard files no longer referenced and not pinned.
+
+    A file is garbage when it is absent from the *current* manifest's
+    shard list and no live in-process reader has it pinned. Stray
+    ``MANIFEST.json.tmp`` files (a publish that crashed before its
+    ``os.replace``) are reaped too. Returns the deleted file names.
+
+    Safe under concurrent readers: a reader that opened before the
+    last publish holds pins, so its files survive; on POSIX even a
+    just-unpinned mmap keeps already-open files readable. Runs under
+    the table's publish lock so an in-flight publish's freshly written
+    shard is never mistaken for garbage.
+    """
+    directory = Path(directory)
+    removed: list[str] = []
+    with publish_lock(directory):
+        manifest = read_manifest(directory)
+        live = {entry["path"] for entry in manifest["shards"]}
+        pinned = pinned_shard_files(directory)
+        for path in sorted(directory.glob("shard-*.cohana")):
+            if path.name in live or path.name in pinned:
+                continue
+            path.unlink()
+            removed.append(path.name)
+        tmp = directory / (MANIFEST_NAME + ".tmp")
+        if tmp.exists():
+            tmp.unlink()
+            removed.append(tmp.name)
+    return removed

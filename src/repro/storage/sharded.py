@@ -39,6 +39,29 @@ The table's ``content_digest`` is composed from the manifest's shard
 digests, so the engine's version token changes exactly when the shard
 set changes — an append invalidates cached results, a byte-identical
 reload does not.
+
+Compaction and retention (:mod:`repro.storage.compaction`) rewrite the
+shard *set* without rewriting history. Three mechanisms here make that
+safe under concurrent readers:
+
+* every manifest publish bumps a monotone ``generation`` counter and
+  goes through :func:`publish_manifest` — fsynced temp file, one
+  atomic ``os.replace`` — so a reader observes exactly one generation,
+  never a torn or mixed manifest;
+* an open :class:`ShardedActivityTable` **pins** its generation's
+  shard files in an in-process registry
+  (:func:`pinned_shard_files`), and the compactor's garbage collector
+  refuses to delete pinned files, so a query in flight keeps its
+  snapshot while the next generation publishes underneath it;
+* each manifest entry records a **logical digest** — an
+  order-independent multiset hash over the shard's decoded rows —
+  whose table-wide combination is invariant under compaction, letting
+  service result caches survive a rewrite that changed every physical
+  byte (:attr:`ShardedActivityTable.logical_digest`).
+
+Crash points (:func:`crash_point`) are compiled into the publish path
+so the fault-injection harness in ``tests/faultinject.py`` can kill
+the process at every interesting instant and prove recovery.
 """
 
 from __future__ import annotations
@@ -47,7 +70,10 @@ import bisect
 import hashlib
 import json
 import os
-from collections.abc import Sequence
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.errors import StorageError
@@ -63,6 +89,263 @@ MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_VERSION = 1
 #: Shard files are named ``shard-NNNNNN.cohana``.
 _SHARD_PATTERN = "shard-{:06d}.cohana"
+
+#: Modulus of the additive multiset row hash: per-row SHA-256 values
+#: are summed mod 2**256, so the result is order-independent but —
+#: unlike an XOR fold — duplicate rows do not cancel out.
+LOGICAL_MOD = 1 << 256
+
+# --------------------------------------------------------------------
+# Crash points and patchable OS calls (fault-injection seams)
+# --------------------------------------------------------------------
+#
+# The publish path routes its dangerous syscalls through module-level
+# indirections and announces each milestone via crash_point(), so the
+# test harness (tests/faultinject.py) can simulate a power cut at any
+# instant — including *during* the os.replace — without subprocesses.
+
+#: Patchable aliases: the fault harness swaps these to tear writes or
+#: abort mid-publish; production never rebinds them.
+_os_replace = os.replace
+_os_fsync = os.fsync
+
+_CRASH_HOOK = None
+
+#: Every crash point the publish/compaction path announces, in the
+#: order a successful run fires them. The crash-consistency suite
+#: parameterizes over this list, so adding a point here automatically
+#: grows the test matrix.
+CRASH_POINTS = (
+    "shard_written",
+    "manifest_tmp_written",
+    "manifest_replace",
+    "manifest_published",
+)
+
+
+def set_crash_hook(hook) -> None:
+    """Install ``hook(name, path)`` to be called at every crash point
+    (``None`` removes it). Test-only seam: the hook may raise to
+    simulate a crash at that instant; production code never installs
+    one, so the call compiles down to a dict lookup and a branch."""
+    global _CRASH_HOOK
+    _CRASH_HOOK = hook
+
+
+def crash_point(name: str, path: Path | None = None) -> None:
+    """Announce a publish-path milestone to the fault harness."""
+    hook = _CRASH_HOOK
+    if hook is not None:
+        hook(name, path)
+
+
+def _fsync_file(f) -> None:
+    """Flush + fsync an open file object through the patchable seam."""
+    f.flush()
+    _os_fsync(f.fileno())
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory, making a just-published
+    rename durable. Some platforms refuse O_RDONLY fsync on
+    directories; losing durability there degrades to pre-crash state,
+    which the recovery contract already tolerates."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        _os_fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# --------------------------------------------------------------------
+# Logical digests: content identity that survives re-sharding
+# --------------------------------------------------------------------
+
+def logical_digest_of(table: ActivityTable) -> str:
+    """Order-independent multiset hash of a table's decoded rows.
+
+    Each row hashes independently (SHA-256 of its ``repr`` as a tuple
+    in schema column order) and the per-row hashes are *summed* mod
+    2**256 — so any re-partitioning or re-ordering of the same rows
+    yields the same digest, while adding, dropping, or editing a row
+    changes it. This is the identity that survives compaction.
+    """
+    total = 0
+    for row in table.to_rows():
+        digest = hashlib.sha256(repr(row).encode("utf-8")).digest()
+        total = (total + int.from_bytes(digest, "big")) % LOGICAL_MOD
+    return format(total, "064x")
+
+
+def combine_logical(parts: Iterable[str]) -> str:
+    """Combine per-shard logical digests into the table-wide one.
+
+    Addition mod 2**256 is associative and commutative, so combining
+    shard digests equals hashing all rows in one pass — the property
+    that makes the combined digest invariant under compaction.
+    """
+    total = 0
+    for part in parts:
+        total = (total + int(part, 16)) % LOGICAL_MOD
+    return format(total, "064x")
+
+
+# --------------------------------------------------------------------
+# Generation pinning: snapshot isolation for in-flight readers
+# --------------------------------------------------------------------
+#
+# Pins are in-process: the registry answers "which shard files may a
+# live reader in THIS process still touch?" and the GC consults it
+# before unlinking. (On POSIX an mmap keeps an unlinked file readable
+# anyway; the registry makes the guarantee explicit, portable, and
+# testable.) Keyed by resolved directory so relative and absolute
+# spellings of one table share pins.
+
+_PIN_LOCK = threading.Lock()
+_PIN_SEQ = 0
+#: token -> (resolved directory, generation, frozenset of shard names)
+_PINS: dict[int, tuple[str, int, frozenset[str]]] = {}
+
+
+def _pin_generation(directory: str | Path, generation: int,
+                    shard_names: Iterable[str]) -> int:
+    """Register a reader's snapshot; returns a token for release."""
+    global _PIN_SEQ
+    key = str(Path(directory).resolve())
+    with _PIN_LOCK:
+        _PIN_SEQ += 1
+        token = _PIN_SEQ
+        _PINS[token] = (key, generation, frozenset(shard_names))
+    return token
+
+
+def _release_pin(token: int) -> None:
+    with _PIN_LOCK:
+        _PINS.pop(token, None)
+
+
+def pinned_shard_files(directory: str | Path) -> set[str]:
+    """Shard file names some live reader of ``directory`` has pinned.
+    The compactor's GC must never unlink any of these."""
+    key = str(Path(directory).resolve())
+    with _PIN_LOCK:
+        return {name for d, _gen, names in _PINS.values()
+                if d == key for name in names}
+
+
+def pinned_generations(directory: str | Path) -> set[int]:
+    """Manifest generations currently pinned by live readers."""
+    key = str(Path(directory).resolve())
+    with _PIN_LOCK:
+        return {gen for d, gen, _names in _PINS.values() if d == key}
+
+
+_PUBLISH_LOCKS_LOCK = threading.Lock()
+_PUBLISH_LOCKS: dict[str, threading.RLock] = {}
+
+
+def publish_lock(directory: str | Path) -> threading.RLock:
+    """The per-directory re-entrant lock every manifest writer —
+    append, compaction, retention, GC — holds across its whole
+    read-modify-publish cycle, so in-process writers serialize instead
+    of losing each other's updates. Writers in *other* processes are
+    still guarded against silent data loss by the exclusive shard
+    create; run one compactor per table across processes."""
+    key = str(Path(directory).resolve())
+    with _PUBLISH_LOCKS_LOCK:
+        lock = _PUBLISH_LOCKS.get(key)
+        if lock is None:
+            lock = _PUBLISH_LOCKS[key] = threading.RLock()
+        return lock
+
+
+# --------------------------------------------------------------------
+# Shard payload verification, memoized per (path, mtime, size)
+# --------------------------------------------------------------------
+#
+# Re-hashing every shard's payload on every open would make reopening
+# a many-shard table O(total bytes). The digest of an immutable shard
+# file cannot change while its (mtime_ns, size) stat signature holds,
+# so verification results are memoized on that signature: reopens are
+# O(shards) stat calls, while any rewrite of the bytes — corruption,
+# swap-under-manifest — changes the signature and re-verifies.
+
+_VERIFY_LOCK = threading.Lock()
+_VERIFY_CACHE: OrderedDict[tuple[str, int, int], str] = OrderedDict()
+_VERIFY_CACHE_ENTRIES = 4096
+
+#: Observable counters: ``hashed`` counts full payload hashes,
+#: ``memoized`` counts opens satisfied by the stat-signature cache.
+SHARD_VERIFY_STATS = {"hashed": 0, "memoized": 0}
+
+
+def clear_shard_verify_cache() -> None:
+    """Drop memoized verifications and reset the counters (tests)."""
+    with _VERIFY_LOCK:
+        _VERIFY_CACHE.clear()
+        SHARD_VERIFY_STATS["hashed"] = 0
+        SHARD_VERIFY_STATS["memoized"] = 0
+
+
+def _hash_shard_payload(path: Path) -> str:
+    """The digest a shard file's bytes actually hash to (the quantity
+    its header merely *claims*): v4+ files hash everything after the
+    header digest field; pre-digest files hash the whole file, both
+    matching what the writer stamped."""
+    from repro.storage.format import DIGEST_VERSION, MAGIC
+
+    header = len(MAGIC) + 2
+    hasher = hashlib.sha256()
+    with open(path, "rb") as f:
+        prefix = f.read(header)
+        if len(prefix) < header or prefix[:len(MAGIC)] != MAGIC:
+            raise StorageError(f"not a cohana file: {path}")
+        version = int.from_bytes(prefix[len(MAGIC):header], "little")
+        if version >= DIGEST_VERSION:
+            f.read(32)  # skip the stored digest: it is the claim
+        else:
+            hasher.update(prefix)
+        while True:
+            block = f.read(1 << 20)
+            if not block:
+                break
+            hasher.update(block)
+    return hasher.hexdigest()
+
+
+def verify_shard_file(path: Path, expected: str) -> None:
+    """Check that a shard file's payload hashes to the manifest's
+    digest, memoized per (path, mtime_ns, size) stat signature.
+
+    Raises:
+        StorageError: when the payload does not hash to ``expected`` —
+            on-disk corruption, or a shard swapped under the manifest.
+    """
+    st = path.stat()
+    key = (str(path), st.st_mtime_ns, st.st_size)
+    with _VERIFY_LOCK:
+        actual = _VERIFY_CACHE.get(key)
+        if actual is not None:
+            _VERIFY_CACHE.move_to_end(key)
+            SHARD_VERIFY_STATS["memoized"] += 1
+    if actual is None:
+        actual = _hash_shard_payload(path)
+        with _VERIFY_LOCK:
+            SHARD_VERIFY_STATS["hashed"] += 1
+            _VERIFY_CACHE[key] = actual
+            while len(_VERIFY_CACHE) > _VERIFY_CACHE_ENTRIES:
+                _VERIFY_CACHE.popitem(last=False)
+    if actual != expected:
+        raise StorageError(
+            f"shard digest mismatch for {path}: payload hashes to "
+            f"{actual[:12]}..., manifest says {expected[:12]}... "
+            f"(on-disk corruption, or a shard swapped under the "
+            f"manifest)")
 
 
 def is_sharded_path(path: str | Path) -> bool:
@@ -111,17 +394,36 @@ def read_manifest(directory: str | Path) -> dict:
         if missing:
             raise StorageError(f"{manifest_path}: shard entry missing "
                                f"{sorted(missing)}")
+    # Manifests written before the compaction era carry no generation;
+    # normalize to 0 so the first post-upgrade publish bumps them to 1
+    # and every caller can rely on the key existing.
+    generation = manifest.setdefault("generation", 0)
+    if not isinstance(generation, int) or generation < 0:
+        raise StorageError(f"{manifest_path}: bad generation "
+                           f"{generation!r}")
     return manifest
 
 
-def _write_manifest(directory: Path, manifest: dict) -> None:
-    """Atomically replace the manifest: a reader sees either the old
-    shard list or the new one, never a torn file."""
+def publish_manifest(directory: Path, manifest: dict) -> None:
+    """Durably and atomically replace the manifest.
+
+    The WAL-style publish discipline: write the full new manifest to a
+    temp file, fsync it, then a single ``os.replace`` onto the real
+    name, then fsync the directory. A reader — or a post-crash reload —
+    sees either the old shard list or the new one in its entirety,
+    never a torn file; the crash-consistency suite kills the process at
+    each :func:`crash_point` here to prove it.
+    """
     target = directory / MANIFEST_NAME
     tmp = directory / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2) + "\n",
-                   encoding="utf-8")
-    os.replace(tmp, target)
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(json.dumps(manifest, indent=2) + "\n")
+        _fsync_file(f)
+    crash_point("manifest_tmp_written", tmp)
+    crash_point("manifest_replace", target)
+    _os_replace(tmp, target)
+    _fsync_dir(directory)
+    crash_point("manifest_published", target)
 
 
 class ShardChunkList(Sequence):
@@ -240,10 +542,43 @@ class ShardedActivityTable(CompressedActivityTable):
         self.shards = shards
         self.manifest = manifest
         self.shard_digests = digests
+        #: Manifest generation this table snapshot was opened at.
+        self.generation = manifest.get("generation", 0)
+        # Pin this generation's shard files so the compactor's GC
+        # leaves them on disk while this object (and any query running
+        # over it) is alive. The weakref finalizer guarantees release
+        # even when nobody calls release() — dropping the last
+        # reference unpins.
+        token = _pin_generation(
+            directory, self.generation,
+            (entry["path"] for entry in manifest["shards"]))
+        self._pin_finalizer = weakref.finalize(self, _release_pin, token)
+
+    def release(self) -> None:
+        """Explicitly unpin this snapshot's shard files (idempotent).
+        After release the GC may delete superseded shard files; the
+        table must not be queried again."""
+        self._pin_finalizer()
 
     @property
     def is_sharded(self) -> bool:
         return True
+
+    @property
+    def logical_digest(self) -> str | None:
+        """Content identity that survives compaction: the combined
+        multiset row hash of all shards, wrapped in one SHA-256 so it
+        is the same shape as a physical digest. ``None`` when any
+        manifest entry predates logical digests (pre-compaction
+        manifests) — callers then fall back to the physical
+        ``content_digest``."""
+        parts = [entry.get("logical_digest")
+                 for entry in self.manifest["shards"]]
+        if any(part is None for part in parts):
+            return None
+        combined = combine_logical(parts)
+        return hashlib.sha256(
+            b"cohana-logical\n" + combined.encode("ascii")).hexdigest()
 
     @property
     def n_shards(self) -> int:
@@ -278,23 +613,71 @@ def load_sharded(path: str | Path) -> ShardedActivityTable:
     """Open a sharded table directory (or its manifest file).
 
     Every shard is opened through :func:`repro.storage.format.load`
-    (memory-mapped and lazy for current-format files) and its content
-    digest is checked against the manifest, so a shard file swapped
-    under an unchanged manifest fails loudly instead of serving bytes
-    the version token does not describe.
-    """
-    from repro.storage.format import load as load_file
+    (memory-mapped and lazy for current-format files) and its payload
+    is verified against the manifest digest via
+    :func:`verify_shard_file` — a real hash of the bytes, not just the
+    header's claim, so corruption or a shard swapped under an
+    unchanged manifest fails loudly instead of serving bytes the
+    version token does not describe. Verification is memoized on the
+    file's (mtime, size) stat signature, so reopening a many-shard
+    table costs O(shards) stats rather than O(total bytes).
 
+    The returned table pins its manifest generation until released
+    (or garbage-collected), so a compaction publishing the next
+    generation never deletes shard files out from under it. The pin
+    registers only once every shard is open, so there is a window in
+    which a concurrent compact-then-GC can delete a shard this loader
+    was about to read. That is not corruption — it can only mean a
+    newer generation was published meanwhile — so the loader retries
+    against the fresh manifest, and after a few optimistic rounds
+    takes the directory's publish lock (no in-process GC can run
+    under it) for a final, guaranteed attempt.
+    """
     directory = Path(path)
     if directory.name == MANIFEST_NAME:
         directory = directory.parent
+    for _attempt in range(_LOAD_RETRIES):
+        try:
+            return _load_sharded_once(directory)
+        except _ShardVanished:
+            continue
+    with publish_lock(directory):
+        try:
+            return _load_sharded_once(directory)
+        except _ShardVanished as exc:
+            # No concurrent publish can explain this under the lock:
+            # the current manifest genuinely points at a missing file.
+            raise StorageError(str(exc)) from None
+
+
+#: Optimistic reload attempts before load_sharded falls back to the
+#: publish lock. Each retry can only fail if another generation was
+#: published (and GC'd) inside the microsecond load window.
+_LOAD_RETRIES = 4
+
+
+class _ShardVanished(Exception):
+    """A manifest-listed shard file disappeared mid-load (a concurrent
+    publish + GC won the race) — internal retry signal."""
+
+
+def _load_sharded_once(directory: Path) -> ShardedActivityTable:
+    from repro.storage.format import load as load_file
+
     manifest = read_manifest(directory)
     shards = []
     for entry in manifest["shards"]:
         shard_path = directory / entry["path"]
         if not shard_path.is_file():
-            raise StorageError(f"shard file missing: {shard_path}")
-        shard = load_file(shard_path)
+            raise _ShardVanished(f"shard file missing: {shard_path}")
+        try:
+            verify_shard_file(shard_path, entry["content_digest"])
+            shard = load_file(shard_path)
+        except FileNotFoundError:
+            # Deleted between the existence check and the open — same
+            # race, same retry.
+            raise _ShardVanished(
+                f"shard file missing: {shard_path}") from None
         if shard.content_digest != entry["content_digest"]:
             raise StorageError(
                 f"shard digest mismatch for {shard_path}: manifest says "
@@ -319,6 +702,39 @@ def _existing_users(shards) -> set[str]:
     return users
 
 
+def shard_entry(compressed, data: bytes, shard_name: str,
+                logical: str) -> dict:
+    """Build one manifest entry for a serialized shard.
+
+    Shared by the append and compaction paths so both record the same
+    metadata: the v4 header digest (the claim the loader verifies
+    against the payload), the logical multiset digest, and the shard's
+    time range (whole-shard retention prunes on it without opening the
+    file).
+    """
+    from repro.storage.format import MAGIC
+
+    # The digest readers will see in the shard's own header (format v4
+    # stamps it right after magic + version), so a later mismatch can
+    # only mean on-disk corruption.
+    digest = data[len(MAGIC) + 2:len(MAGIC) + 2 + 32].hex()
+    entry = {
+        "path": shard_name,
+        "n_rows": compressed.n_rows,
+        "n_chunks": compressed.n_chunks,
+        "n_users": compressed.n_users,
+        "n_bytes": len(data),
+        "content_digest": digest,
+        "logical_digest": logical,
+    }
+    time_range = compressed.global_ranges.get(
+        compressed.schema.time.name)
+    if time_range is not None:
+        entry["time_range"] = [time_range.min_value,
+                               time_range.max_value]
+    return entry
+
+
 def append_shard(directory: str | Path, table: ActivityTable,
                  target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
                  ) -> dict:
@@ -337,30 +753,40 @@ def append_shard(directory: str | Path, table: ActivityTable,
     """
     if len(table) == 0:
         raise StorageError("refusing to append an empty shard")
-    from repro.storage.format import MAGIC, serialize
-
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    with publish_lock(directory):
+        return _append_shard_locked(directory, table, target_chunk_rows)
+
+
+def _append_shard_locked(directory: Path, table: ActivityTable,
+                         target_chunk_rows: int) -> dict:
+    from repro.storage.format import serialize
+
     if (directory / MANIFEST_NAME).is_file():
         existing = load_sharded(directory)
-        if existing.schema != table.schema:
-            raise StorageError(
-                "appended batch schema differs from the table's")
-        overlap = _existing_users(existing.shards) \
-            & set(table.distinct_users())
-        if overlap:
-            sample = ", ".join(sorted(overlap)[:5])
-            raise StorageError(
-                f"append would split {len(overlap)} user(s) across "
-                f"shards (e.g. {sample}); a user's tuples must live in "
-                f"one shard for cohort aggregation to stay exact — "
-                f"batch ingestion by user arrival, or rebuild the "
-                f"table from the combined data")
-        manifest = existing.manifest
-        next_index = manifest["next_shard_index"]
+        try:
+            if existing.schema != table.schema:
+                raise StorageError(
+                    "appended batch schema differs from the table's")
+            overlap = _existing_users(existing.shards) \
+                & set(table.distinct_users())
+            if overlap:
+                sample = ", ".join(sorted(overlap)[:5])
+                raise StorageError(
+                    f"append would split {len(overlap)} user(s) across "
+                    f"shards (e.g. {sample}); a user's tuples must live "
+                    f"in one shard for cohort aggregation to stay exact "
+                    f"— batch ingestion by user arrival, or rebuild the "
+                    f"table from the combined data")
+            manifest = existing.manifest
+            next_index = manifest["next_shard_index"]
+        finally:
+            existing.release()
     else:
         manifest = {"format": "cohana-sharded",
                     "version": MANIFEST_VERSION,
+                    "generation": 0,
                     "target_chunk_rows": target_chunk_rows,
                     "next_shard_index": 1,
                     "shards": []}
@@ -377,24 +803,17 @@ def append_shard(directory: str | Path, table: ActivityTable,
         # bytes and dropping its manifest entry.
         with open(shard_path, "xb") as f:
             f.write(data)
+            _fsync_file(f)
     except FileExistsError:
         raise StorageError(
             f"shard file already exists: {shard_path} (concurrent "
             f"append, or manifest out of sync) — retry the append"
         ) from None
-    # The manifest records the digest readers will see in the shard's
-    # own header (format v4 stamps it right after magic + version), so
-    # a later mismatch can only mean on-disk corruption.
-    digest = data[len(MAGIC) + 2:len(MAGIC) + 2 + 32].hex()
-    entry = {
-        "path": shard_name,
-        "n_rows": compressed.n_rows,
-        "n_chunks": compressed.n_chunks,
-        "n_users": compressed.n_users,
-        "n_bytes": len(data),
-        "content_digest": digest,
-    }
+    crash_point("shard_written", shard_path)
+    entry = shard_entry(compressed, data, shard_name,
+                        logical_digest_of(table))
     manifest["shards"].append(entry)
     manifest["next_shard_index"] = next_index + 1
-    _write_manifest(directory, manifest)
+    manifest["generation"] = manifest.get("generation", 0) + 1
+    publish_manifest(directory, manifest)
     return entry

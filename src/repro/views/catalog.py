@@ -283,6 +283,12 @@ class ViewCatalog:
         0 when every partial was warm (e.g. after a byte-identical
         reload), exactly the number of new shards after an append. The
         chunk/row counters cover only the newly scanned shards.
+
+        Partials keyed by digests the current shard set no longer
+        contains — shards a compaction merged away or retention
+        dropped — are stale by construction and deleted here, so
+        ``VIEWS/partials/`` never accumulates orphans across shard
+        rewrites.
         """
         view = self.get(name)
         store = self.store_for(view.table)
@@ -298,6 +304,8 @@ class ViewCatalog:
                 pushdown=pushdown, prune=prune, stats=stats)
             store.put_partial(view.fingerprint, digest, partial)
             stats.shards_scanned += 1
+        store.prune_partials(view.fingerprint,
+                             {digest for _shard, digest in units})
         return stats
 
     def serve(self, name: str, executor: str = "vectorized",

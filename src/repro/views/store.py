@@ -140,6 +140,14 @@ class MemoryViewStore:
             del self._partials[key]
         return len(keys)
 
+    def prune_partials(self, fingerprint: str,
+                       keep_digests: set[str]) -> int:
+        keys = [k for k in self._partials
+                if k[0] == fingerprint and k[1] not in keep_digests]
+        for key in keys:
+            del self._partials[key]
+        return len(keys)
+
     # -- definitions ----------------------------------------------------------
 
     def save_definition(self, payload: dict) -> None:
@@ -216,6 +224,23 @@ class DiskViewStore:
         except OSError:  # pragma: no cover - leftover foreign files
             pass
         return len(files)
+
+    def prune_partials(self, fingerprint: str,
+                       keep_digests: set[str]) -> int:
+        """Delete partial files whose shard digest is no longer in
+        ``keep_digests`` — shards that a compaction or retention prune
+        removed from the manifest. The partial of a vanished shard can
+        never be served again (no unit carries its digest), so keeping
+        the file would only leak disk. Returns the number removed."""
+        directory = self.root / "partials" / fingerprint
+        if not directory.is_dir():
+            return 0
+        removed = 0
+        for path in directory.glob("*.json"):
+            if path.stem not in keep_digests:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
     # -- definitions ----------------------------------------------------------
 

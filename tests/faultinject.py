@@ -1,0 +1,91 @@
+"""Fault injection for the shard publish path.
+
+The storage layer compiles *crash points* into its publish discipline
+(:func:`repro.storage.sharded.crash_point`: after the shard write,
+after the fsynced temp-manifest write, immediately before the atomic
+``os.replace``, and after the publish) and routes its dangerous
+syscalls through patchable module aliases (``_os_replace``,
+``_os_fsync``). This module turns those seams into a harness:
+
+* :class:`FaultInjector` — a context manager that installs a crash
+  hook and raises :class:`InjectedCrash` at a chosen point, optionally
+  after first **tearing** the just-written file (truncating it, the
+  on-disk state a real power cut can leave behind when the write was
+  never fsynced);
+* :class:`InjectedCrash` — derives from ``BaseException``, not
+  ``Exception``, so no ``except ReproError``/``except Exception`` in
+  production code can swallow the simulated power cut — exactly like a
+  real one, it unwinds everything.
+
+The crash-consistency suite (``test_crash_consistency.py``)
+parameterizes over :data:`repro.storage.sharded.CRASH_POINTS` — every
+point added to the publish path automatically grows the test matrix.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.storage import sharded
+
+
+class InjectedCrash(BaseException):
+    """A simulated power cut at a named crash point."""
+
+    def __init__(self, point: str, path: Path | None):
+        super().__init__(f"injected crash at {point!r}"
+                         + (f" ({path})" if path else ""))
+        self.point = point
+        self.path = path
+
+
+class FaultInjector:
+    """Install a crash hook for the duration of a ``with`` block.
+
+    Args:
+        crash_at: the crash point to die at (``None`` observes only —
+            the injector then just records every point that fires).
+        skip: let this many firings of ``crash_at`` pass before
+            crashing — for paths that announce one point several times.
+        tear_bytes: before crashing, truncate the file the crash point
+            announced to this many bytes, simulating a write the crash
+            interrupted mid-flight.
+
+    Attributes:
+        fired: every ``(point, path)`` announced while installed.
+        crashed: whether the injected crash actually fired.
+    """
+
+    def __init__(self, crash_at: str | None = None, skip: int = 0,
+                 tear_bytes: int | None = None):
+        self.crash_at = crash_at
+        self.skip = skip
+        self.tear_bytes = tear_bytes
+        self.fired: list[tuple[str, Path | None]] = []
+        self.crashed = False
+
+    def _hook(self, point: str, path: Path | None) -> None:
+        self.fired.append((point, path))
+        if self.crashed or point != self.crash_at:
+            return
+        if self.skip > 0:
+            self.skip -= 1
+            return
+        self.crashed = True
+        if (self.tear_bytes is not None and path is not None
+                and os.path.exists(path)):
+            with open(path, "r+b") as f:
+                f.truncate(self.tear_bytes)
+        raise InjectedCrash(point, path)
+
+    def points_fired(self) -> list[str]:
+        return [point for point, _path in self.fired]
+
+    def __enter__(self) -> "FaultInjector":
+        sharded.set_crash_hook(self._hook)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        sharded.set_crash_hook(None)
+        return False

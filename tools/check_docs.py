@@ -36,12 +36,14 @@ _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 _REQUIRED_SECTIONS = {
     "ARCHITECTURE.md": (
         "## Sharded tables and append-only ingestion",
+        "## Compaction, generations, and snapshot isolation",
         "## The query service: fingerprint → cache → pipeline",
         "## Zone maps and compressed-domain scans",
         "## Materialized views: per-shard partials, incremental refresh",
     ),
     "README.md": (
         "## Growing tables: sharded storage and `ingest --append`",
+        "## Compaction and retention",
         "## Caching and serving",
         "## Materialized views: incremental per-shard refresh",
     ),
