@@ -47,6 +47,19 @@ version token (and therefore the service result cache) survives the
 rewrite, and per-batch append cost stays O(new data);
 ``BENCH_compaction.json`` records the parity / recovery / token /
 append verdicts.
+
+The ``operators`` experiment guards the operator-tree refactor: it
+times the per-chunk scan once as the pre-refactor flat kernel loop
+(``kernel.scan`` per chunk) and once through the lowered physical
+tree (``PhysicalPlan.execute_chunk``) over the selective suite,
+asserting the tree stays within 1.1x, plus result-digest parity on
+all three scan backends; ``BENCH_operators.json`` records the
+latency / parity verdicts.
+
+Every recorded experiment additionally folds in the
+vectorized-vs-iterator kernel digest-parity sweep
+(``kernel_parity_ok``), so ``tools/bench_report.py --strict`` fails
+on any kernel divergence regardless of which experiment surfaced it.
 """
 
 from __future__ import annotations
@@ -59,7 +72,9 @@ from pathlib import Path
 from repro.bench import (
     compaction_records,
     compressed_scan_records,
+    kernel_parity_records,
     materialized_view_records,
+    operator_tree_records,
     parallel_scaling,
     parallel_scaling_records,
     selective_scan_records,
@@ -68,6 +83,18 @@ from repro.bench import (
     shard_append_records,
 )
 from repro.bench.report_runner import resolve_experiments, run_and_print
+
+
+def kernel_parity(scale: int, chunk_rows: int = 1024) -> dict:
+    """The vectorized-vs-iterator digest-parity sweep every recorded
+    experiment folds into its payload (``kernel_parity_ok``), printed
+    as one verdict line."""
+    sweep = kernel_parity_records(scale=scale, chunk_rows=chunk_rows)
+    ok = sweep["kernel_parity_ok"]
+    print(f"  kernel parity (vectorized vs iterator, "
+          f"{len(sweep['kernel_parity'])} queries): "
+          f"{'OK' if ok else 'MISMATCH'}")
+    return sweep
 
 
 def jobs_sweep(max_jobs: int) -> tuple[int, ...]:
@@ -108,6 +135,7 @@ def run_parallel(max_jobs: int, seed: int, out: Path) -> None:
         "cpus": os.cpu_count(),
         "records": parallel_scaling_records(report),
         "selective_scan": selective,
+        **kernel_parity(scale=4),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[parallel results written to {out}]")
@@ -162,6 +190,7 @@ def run_compressed(seed: int, out: Path, scale: int = 8,
         "summary": summary,
         "parity_ok": parity_ok,
         "selective_ok": selective_ok,
+        **kernel_parity(scale, chunk_rows),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[compressed-scan results written to {out}]")
@@ -193,6 +222,7 @@ def run_service(seed: int, out: Path, scale: int = 8,
         "records": records,
         "parity_ok": parity_ok,
         "speedup_ok": speedup_ok,
+        **kernel_parity(scale, chunk_rows),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[service-cache results written to {out}]")
@@ -234,6 +264,7 @@ def run_shards(seed: int, out: Path, scale: int = 4,
         **payload,
         "parity_ok": parity_ok,
         "append_ok": append_ok,
+        **kernel_parity(scale, chunk_rows),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[shard-append results written to {out}]")
@@ -268,6 +299,7 @@ def run_views(seed: int, out: Path, scale: int = 4,
         "experiment": "materialized_views",
         "seed": seed,
         **payload,
+        **kernel_parity(scale, chunk_rows),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[materialized-view results written to {out}]")
@@ -306,9 +338,39 @@ def run_compaction(seed: int, out: Path, scale: int = 4,
         "experiment": "compaction",
         "seed": seed,
         **payload,
+        **kernel_parity(scale, chunk_rows),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n[compaction results written to {out}]")
+
+
+def run_operators(seed: int, out: Path, scale: int = 4,
+                  chunk_rows: int = 1024, repeat: int = 5) -> None:
+    """Run the operator-tree regression experiment and record
+    BENCH_operators.json (lowered-tree vs flat-kernel-loop latency on
+    the selective suite, three-backend digest parity, and the kernel
+    parity sweep)."""
+    payload = operator_tree_records(scale=scale, chunk_rows=chunk_rows,
+                                    repeat=repeat)
+    print("\noperator-tree execution vs flat kernel loop:")
+    for record in payload["records"]:
+        print(f"  {record['query']:<14} flat "
+              f"{record['flat_seconds']:.5f}s  tree "
+              f"{record['tree_seconds']:.5f}s  "
+              f"x{record['ratio']:.3f}  "
+              f"{'OK' if record['parity'] else 'MISMATCH'}")
+    print(f"  tree within 1.1x of flat loop: "
+          f"{'yes' if payload['latency_ok'] else 'NO'}; "
+          f"backend parity: "
+          f"{'OK' if payload['parity_ok'] else 'MISMATCH'}")
+    payload = {
+        "experiment": "operator_tree",
+        "seed": seed,
+        **payload,
+        **kernel_parity(scale, chunk_rows),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[operator-tree results written to {out}]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -351,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_compaction.json",
                         help="where the shard-compaction experiment "
                              "records its timings")
+    parser.add_argument("--operators-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_operators.json",
+                        help="where the operator-tree experiment "
+                             "records its timings")
     parser.add_argument("--scale", type=int, default=None,
                         help="override the dataset scale of the "
                              "compressed/service experiments (smoke "
@@ -367,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
               f"available: {list(EXPERIMENTS)}")
         return 2
     recorded = ("parallel", "compressed", "service", "shards", "views",
-                "compaction")
+                "compaction", "operators")
     figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
@@ -390,6 +457,9 @@ def main(argv: list[str] | None = None) -> int:
     if "compaction" in selected:
         run_compaction(args.seed, args.compaction_out,
                        **({"scale": args.scale} if args.scale else {}))
+    if "operators" in selected:
+        run_operators(args.seed, args.operators_out,
+                      **({"scale": args.scale} if args.scale else {}))
     return 0
 
 

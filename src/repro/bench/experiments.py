@@ -487,6 +487,122 @@ def compressed_scan(scale: int = 8, chunk_rows: int = 1024,
 
 
 # ---------------------------------------------------------------------------
+# Operator-tree execution (ours): lowered plans vs the flat kernel loop
+# ---------------------------------------------------------------------------
+
+
+def kernel_parity_records(scale: int = 8, chunk_rows: int = 1024) -> dict:
+    """Vectorized-vs-iterator digest parity over the selective workload.
+
+    The cheapest end-to-end witness that the two kernel families still
+    agree after any pipeline change: every recorded bench experiment
+    folds this sweep into its payload (``kernel_parity_ok``), so
+    ``tools/bench_report.py --strict`` fails the whole bench run on a
+    kernel divergence no matter which experiment was running.
+    """
+    import hashlib
+
+    engine = cohana_engine(scale, chunk_rows)
+    records = []
+    for qname, text in selective_queries().items():
+        digests = {}
+        for executor in ("vectorized", "iterator"):
+            result = engine.query(text, executor=executor)
+            digests[executor] = hashlib.sha256(
+                repr(result.rows).encode()).hexdigest()[:16]
+        records.append({
+            "query": qname,
+            "digest_vectorized": digests["vectorized"],
+            "digest_iterator": digests["iterator"],
+            "parity": digests["vectorized"] == digests["iterator"],
+        })
+    return {"kernel_parity": records,
+            "kernel_parity_ok": all(r["parity"] for r in records)}
+
+
+def operator_tree_records(scale: int = 4, chunk_rows: int = 1024,
+                          repeat: int = 5, jobs: int = 2) -> dict:
+    """Operator-tree execution vs the pre-refactor flat kernel loop.
+
+    Times the exact unit the refactor changed — the per-chunk scan,
+    once as the old flat loop (``kernel.scan`` called directly per
+    chunk) and once through the lowered physical tree
+    (``PhysicalPlan.execute_chunk``) — over every selective query, so
+    the tree's dispatch overhead is measured against nothing but
+    itself. Also checks result-digest parity on all three scan
+    backends over the on-disk (mmap) table, which is the setup the
+    ``processes`` backend needs.
+    """
+    import hashlib
+
+    from repro.cohana.operators import lower_plan
+    from repro.cohana.pipeline import get_kernel
+    from repro.cohana.planner import plan_query
+
+    engine = cohana_engine_on_disk(scale, chunk_rows)
+    table = engine.table(TABLE)
+    kernel = get_kernel("vectorized")
+    chunks = list(table.chunks)
+    records = []
+    for qname in SELECTIVE_SET:
+        text = selective_queries()[qname]
+        plan = plan_query(engine.parse(text), table)
+        physical = lower_plan(plan, kernel)
+
+        def flat_scan():
+            for chunk in chunks:
+                kernel.scan(table, chunk, plan)
+
+        def tree_scan():
+            for chunk in chunks:
+                physical.execute_chunk(table, chunk)
+
+        flat_seconds = time_call(flat_scan, repeat=repeat)
+        tree_seconds = time_call(tree_scan, repeat=repeat)
+        ratio = (tree_seconds / flat_seconds if flat_seconds else None)
+        digests = {}
+        for backend in ("serial", "threads", "processes"):
+            result = engine.query(
+                text, backend=backend,
+                jobs=1 if backend == "serial" else jobs)
+            digests[backend] = hashlib.sha256(
+                repr(result.rows).encode()).hexdigest()[:16]
+        records.append({
+            "query": qname,
+            "flat_seconds": flat_seconds,
+            "tree_seconds": tree_seconds,
+            "ratio": round(ratio, 3) if ratio is not None else None,
+            "digest_serial": digests["serial"],
+            "digest_threads": digests["threads"],
+            "digest_processes": digests["processes"],
+            "parity": len(set(digests.values())) == 1,
+        })
+    latency_ok = all(r["ratio"] is not None and r["ratio"] <= 1.10
+                     for r in records)
+    parity_ok = all(r["parity"] for r in records)
+    return {"scale": scale, "chunk_rows": chunk_rows, "jobs": jobs,
+            "records": records, "latency_ok": latency_ok,
+            "parity_ok": parity_ok}
+
+
+def operator_tree(scale: int = 4, chunk_rows: int = 1024,
+                  repeat: int = 5) -> Report:
+    """Figure-style report: flat-loop vs operator-tree seconds per
+    selective query."""
+    payload = operator_tree_records(scale=scale, chunk_rows=chunk_rows,
+                                    repeat=repeat)
+    report = Report(title="Operator-tree execution vs flat kernel loop "
+                          f"(scale={scale}, chunk={chunk_rows})",
+                    x_label="query", y_label="seconds")
+    flat = report.series_named("flat kernel loop")
+    tree = report.series_named("operator tree")
+    for record in payload["records"]:
+        flat.add(record["query"], round(record["flat_seconds"], 5))
+        tree.add(record["query"], round(record["tree_seconds"], 5))
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Query-service result cache (ours): cold vs cached serving
 # ---------------------------------------------------------------------------
 
@@ -1023,6 +1139,7 @@ EXPERIMENTS = {
     "ablations": ablations,
     "parallel": parallel_scaling,
     "compressed": compressed_scan,
+    "operators": operator_tree,
     "service": service_cache,
     "shards": shard_append,
     "views": materialized_views,

@@ -313,7 +313,8 @@ def _dispatch(args) -> int:
                              time_bin_origin=origin)
         if args.explain:
             print(service.explain(query, scan_mode=args.scan_mode,
-                                  jobs=args.jobs, backend=args.backend))
+                                  jobs=args.jobs, backend=args.backend,
+                                  analyze=True))
             return 0
         result = service.query(query, jobs=args.jobs,
                                backend=args.backend,

@@ -1,7 +1,14 @@
 """COHANA: the columnar cohort query engine (Section 4)."""
 
 from repro.cohana.binder import bind_cohort_query
-from repro.cohana.engine import EXECUTORS, CohanaEngine
+from repro.cohana.engine import CohanaEngine
+from repro.cohana.operators import (
+    KernelOp,
+    PhysicalPlan,
+    SessionizeOp,
+    TableScanOp,
+    lower_plan,
+)
 from repro.cohana.parser import ParsedCohortQuery, parse_cohort_query
 from repro.cohana.pipeline import (
     BACKENDS,
@@ -18,6 +25,7 @@ from repro.cohana.planner import (
     SCAN_MODES,
     CohortPlan,
     ColumnBound,
+    LogicalOp,
     extract_birth_bounds,
     extract_time_bounds,
     plan_query,
@@ -34,16 +42,21 @@ __all__ = [
     "CohanaEngine",
     "CohortPlan",
     "ColumnBound",
-    "EXECUTORS",
     "ExecStats",
     "ExecutionConfig",
     "KERNELS",
+    "KernelOp",
     "LazyRow",
+    "LogicalOp",
     "ParsedCohortQuery",
+    "PhysicalPlan",
     "SCAN_MODES",
+    "SessionizeOp",
+    "TableScanOp",
     "bind_cohort_query",
     "extract_birth_bounds",
     "extract_time_bounds",
+    "lower_plan",
     "parse_cohort_query",
     "plan_query",
     "register_kernel",

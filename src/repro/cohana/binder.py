@@ -38,9 +38,15 @@ from repro.cohort.conditions import (
     TrueCondition,
     conjoin,
 )
-from repro.cohort.query import CohortQuery
+from repro.cohort.query import CohortQuery, SessionizeSpec
 from repro.cohana.parser import ParsedCohortQuery
-from repro.schema import ActivitySchema, LogicalType, coerce_value
+from repro.schema import (
+    ActivitySchema,
+    ColumnRole,
+    ColumnSpec,
+    LogicalType,
+    coerce_value,
+)
 
 
 def bind_cohort_query(parsed: ParsedCohortQuery, schema: ActivitySchema,
@@ -52,6 +58,21 @@ def bind_cohort_query(parsed: ParsedCohortQuery, schema: ActivitySchema,
         BindError: on missing birth action, unknown columns/functions, or
             SELECT items inconsistent with COHORT BY.
     """
+    base_schema = schema
+    sessionize = None
+    if parsed.sessionize is not None:
+        try:
+            sessionize = SessionizeSpec(column=parsed.sessionize.column,
+                                        gap=parsed.sessionize.gap_seconds)
+        except Exception as exc:
+            raise BindError(str(exc)) from None
+        if sessionize.column in schema:
+            raise BindError(
+                f"SESSIONIZE column {sessionize.column!r} collides with "
+                "a stored column; pick another name with AS")
+        # Derived columns bind like stored ones from here on.
+        schema = ActivitySchema(schema.columns + (ColumnSpec(
+            sessionize.column, LogicalType.INT, ColumnRole.MEASURE),))
     birth_action, birth_condition = _extract_birth_action(
         parsed.birth_clause, schema)
     birth_condition = _coerce_literals(birth_condition, schema)
@@ -67,9 +88,10 @@ def bind_cohort_query(parsed: ParsedCohortQuery, schema: ActivitySchema,
         cohort_time_bin=parsed.cohort_time_bin or "week",
         time_bin_origin=time_bin_origin,
         table=parsed.table,
+        sessionize=sessionize,
     )
     try:
-        query.validate(schema)
+        query.validate(base_schema)
     except Exception as exc:
         raise BindError(str(exc)) from None
     return query

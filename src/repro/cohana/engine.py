@@ -60,22 +60,17 @@ from repro.cohana.pipeline import (
     ExecutionConfig,
     get_kernel,
 )
+from repro.cohana.operators import lower_plan
 from repro.cohana.planner import CohortPlan, plan_query
-from repro.cohana import iterator_executor, vectorized
+# Importing the executor modules registers their kernels with the
+# pipeline registry; nothing else is needed from them here.
+from repro.cohana import iterator_executor, vectorized  # noqa: F401
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
 from repro.storage import compress, load, save
 from repro.storage.reader import CompressedActivityTable
 from repro.storage.writer import DEFAULT_CHUNK_ROWS
 from repro.table import ActivityTable
-
-#: Compatibility alias: named serial entry points per kernel family. The
-#: real execution path is the chunk pipeline; importing the executor
-#: modules above also registers their kernels with the pipeline registry.
-EXECUTORS = {
-    "vectorized": vectorized.execute_plan,
-    "iterator": iterator_executor.execute_plan,
-}
 
 
 class CohanaEngine:
@@ -405,12 +400,15 @@ class CohanaEngine:
                 prune: bool = True, scan_mode: str = "auto",
                 jobs: int = 1, backend: str | None = None,
                 config: ExecutionConfig | None = None,
+                executor: str = "vectorized", analyze: bool = False,
                 **parse_kw) -> str:
-        """A textual plan description (EXPLAIN).
+        """The physical operator tree, one line per operator (EXPLAIN).
 
         Includes the resolved :class:`ExecutionConfig` line, so the
         ``jobs`` / ``backend`` / ``scan_mode`` a query would run with
-        are visible without executing it.
+        are visible without executing it. With ``analyze=True`` the
+        query is actually executed and each operator line carries its
+        rows-in/rows-out and prune counters.
         """
         if isinstance(query, str):
             query = self.parse(query, **parse_kw)
@@ -424,4 +422,12 @@ class CohanaEngine:
                 "scan_mode= options, not both")
         plan = self.plan(query, pushdown=pushdown, prune=prune,
                          scan_mode=config.scan_mode)
-        return f"{plan.describe()}\n{config.describe()}"
+        physical = lower_plan(plan, get_kernel(executor))
+        if analyze:
+            result, stats = self.query_with_stats(
+                query, executor=executor, pushdown=pushdown, prune=prune,
+                config=config)
+            tree = physical.describe(stats=stats, result=result)
+        else:
+            tree = physical.describe()
+        return f"{tree}\n{config.describe()}"

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.common import NUMBER, STRING, TokenStream, tokenize
 from repro.errors import ParseError
+from repro.schema import TIME_UNIT_SECONDS
 from repro.cohort.conditions import (
     AgeRef,
     And,
@@ -57,6 +58,18 @@ class SelectItem:
     alias: str | None = None
 
 
+@dataclass(frozen=True)
+class ParsedSessionize:
+    """``SESSIONIZE (GAP = <number> [<unit>]) [AS <column>]``.
+
+    ``gap_seconds`` is the gap threshold converted to seconds; the
+    derived session-ordinal column is named ``column``.
+    """
+
+    gap_seconds: float
+    column: str = "session"
+
+
 @dataclass
 class ParsedCohortQuery:
     """The raw parse of a cohort query, before schema binding."""
@@ -67,6 +80,7 @@ class ParsedCohortQuery:
     age_clause: Condition = field(default_factory=TrueCondition)
     cohort_by: list[str] = field(default_factory=list)
     cohort_time_bin: str | None = None
+    sessionize: ParsedSessionize | None = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +173,7 @@ def _parse_query(stream: TokenStream) -> ParsedCohortQuery:
     age_clause: Condition = TrueCondition()
     cohort_by: list[str] = []
     time_bin: str | None = None
+    sessionize: ParsedSessionize | None = None
     saw_birth = saw_age = saw_cohort = False
     while not stream.at_end():
         if stream.accept_symbol(";"):
@@ -192,11 +207,18 @@ def _parse_query(stream: TokenStream) -> ParsedCohortQuery:
             if stream.accept_keyword("UNIT"):
                 time_bin = stream.expect_ident().text.lower()
             saw_cohort = True
+        elif stream.peek_is_keyword("SESSIONIZE"):
+            if sessionize is not None:
+                raise ParseError("duplicate SESSIONIZE clause",
+                                 stream.peek().position)
+            stream.next()
+            sessionize = _parse_sessionize(stream)
         else:
             token = stream.peek()
             raise ParseError(
                 f"unexpected token {token.text!r}; expected BIRTH FROM, "
-                "AGE ACTIVITIES IN or COHORT BY", token.position)
+                "AGE ACTIVITIES IN, SESSIONIZE or COHORT BY",
+                token.position)
     if not saw_birth:
         raise ParseError("cohort query requires a BIRTH FROM clause")
     if not saw_cohort:
@@ -208,7 +230,40 @@ def _parse_query(stream: TokenStream) -> ParsedCohortQuery:
         age_clause=age_clause,
         cohort_by=cohort_by,
         cohort_time_bin=time_bin,
+        sessionize=sessionize,
     )
+
+
+def _parse_sessionize(stream: TokenStream) -> ParsedSessionize:
+    """Parse ``(GAP = <number> [<unit>]) [AS <column>]`` after SESSIONIZE."""
+    stream.expect_symbol("(")
+    stream.expect_keyword("GAP")
+    stream.expect_symbol("=")
+    token = stream.next()
+    if token.kind != NUMBER:
+        raise ParseError(f"expected a number for the SESSIONIZE gap, got "
+                         f"{token.text!r}", token.position)
+    gap = float(token.text) if "." in token.text else int(token.text)
+    seconds = float(gap)
+    if not (stream.peek().kind == "SYMBOL" and stream.peek().text == ")"):
+        unit_token = stream.expect_ident()
+        unit = unit_token.text.lower()
+        if unit not in TIME_UNIT_SECONDS and unit.endswith("s"):
+            unit = unit[:-1]
+        if unit not in TIME_UNIT_SECONDS:
+            raise ParseError(
+                f"unknown SESSIONIZE gap unit {unit_token.text!r}; "
+                f"expected one of {sorted(TIME_UNIT_SECONDS)}",
+                unit_token.position)
+        seconds = float(gap) * TIME_UNIT_SECONDS[unit]
+    stream.expect_symbol(")")
+    if seconds <= 0:
+        raise ParseError("SESSIONIZE gap must be positive",
+                         token.position)
+    column = "session"
+    if stream.accept_keyword("AS"):
+        column = stream.expect_ident().text
+    return ParsedSessionize(gap_seconds=seconds, column=column)
 
 
 def _parse_select_list(stream: TokenStream) -> list[SelectItem]:

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import CatalogError, ExecutionError
+from repro.cohana.operators import lower_plan
 from repro.cohana.planner import SCAN_MODES, CohortPlan, plan_query
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
@@ -442,7 +443,7 @@ def _decode_partial(shard: CompressedActivityTable, query: CohortQuery,
     shard distinct ids decode to distinct values, so no information is
     lost.
     """
-    schema = shard.schema
+    schema = query.effective_schema(shard.schema)
     decoded: dict[tuple, tuple] = {}
 
     def value_label(label: tuple) -> tuple:
@@ -560,12 +561,21 @@ def _scan_chunk_in_worker(path: str, kernel_name: str, plan: CohortPlan,
         from repro.storage.format import load
         from repro.cohana import iterator_executor, vectorized  # noqa: F401
         table = _WORKER_TABLES[path] = load(path)
-    kernel = get_kernel(kernel_name)
-    return kernel.scan(table, table.chunks[chunk_index], plan)
+    # Re-lower in the worker: the task ships only picklable data (path,
+    # kernel name, plan); lowering is cheap object construction.
+    physical = lower_plan(plan, get_kernel(kernel_name))
+    return physical.execute_chunk(table, table.chunks[chunk_index])
 
 
 class ChunkScheduler:
-    """Runs a plan: prune once, scan per chunk, stream-merge partials.
+    """Runs a plan: prune once, drive the physical operator tree per
+    chunk, stream-merge partials.
+
+    The scheduler lowers the plan's logical chain once
+    (:func:`~repro.cohana.operators.lower_plan`) and dispatches
+    ``physical.execute_chunk`` as the per-chunk unit of work on every
+    backend; the ``processes`` backend ships only the picklable plan and
+    re-lowers inside each worker.
 
     A non-``auto`` ``config.scan_mode`` overrides the plan's, so the
     same :class:`~repro.cohana.planner.CohortPlan` can be executed in
@@ -583,6 +593,7 @@ class ChunkScheduler:
         self.plan = plan
         self.kernel = (get_kernel(kernel) if isinstance(kernel, str)
                        else kernel)
+        self.physical = lower_plan(self.plan, self.kernel)
 
     def tasks(self, stats: ExecStats | None = None) -> list[ScanTask]:
         """The scan tasks left after pruning (the single place pruning
@@ -673,11 +684,11 @@ class ChunkScheduler:
         """
         if not work:
             return
-        scan = self.kernel.scan
         if self.config.backend == "serial":
             for shard, plan, tasks in work:
+                physical = lower_plan(plan, self.kernel)
                 for task in tasks:
-                    yield shard, scan(shard, task.chunk, plan)
+                    yield shard, physical.execute_chunk(shard, task.chunk)
             return
         n_tasks = sum(len(tasks) for _, _, tasks in work)
         workers = min(self.config.jobs, n_tasks)
@@ -685,8 +696,10 @@ class ChunkScheduler:
         if self.config.backend == "threads":
             pool = ThreadPoolExecutor(max_workers=workers)
             for shard, plan, tasks in work:
+                physical = lower_plan(plan, self.kernel)
                 for task in tasks:
-                    future = pool.submit(scan, shard, task.chunk, plan)
+                    future = pool.submit(physical.execute_chunk, shard,
+                                         task.chunk)
                     owners[future] = shard
         else:
             pool = ProcessPoolExecutor(max_workers=workers)
@@ -715,15 +728,15 @@ class ChunkScheduler:
         """
         if not tasks:
             return
-        scan = self.kernel.scan
+        execute_chunk = self.physical.execute_chunk
         if self.config.backend == "serial":
             for task in tasks:
-                yield scan(self.table, task.chunk, self.plan)
+                yield execute_chunk(self.table, task.chunk)
             return
         workers = min(self.config.jobs, len(tasks))
         if self.config.backend == "threads":
             pool = ThreadPoolExecutor(max_workers=workers)
-            futures = [pool.submit(scan, self.table, task.chunk, self.plan)
+            futures = [pool.submit(execute_chunk, self.table, task.chunk)
                        for task in tasks]
         else:
             path = self._require_source_path()
@@ -782,7 +795,7 @@ def build_rows(table: CompressedActivityTable, state: MergeState,
                decoded_labels: bool) -> list[tuple]:
     """Finalize merged buckets into sorted result rows."""
     query = state.query
-    schema = table.schema
+    schema = query.effective_schema(table.schema)
     if decoded_labels:
         decoded = {label: label for label in state.cohort_sizes}
     else:

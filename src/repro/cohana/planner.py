@@ -88,6 +88,38 @@ class ColumnBound:
 
 
 @dataclass(frozen=True)
+class LogicalOp:
+    """One node of the logical operator tree.
+
+    The logical plan is a single-child chain (cohort queries have no
+    joins yet): ``Aggregate → CohortProject → AgeSelect → BirthSelect
+    [→ Sessionize] → TableScan``, root first. ``detail`` is the node's
+    parameter rendering; ``annotation`` an optional trailing note
+    (e.g. the push-down marker).
+    """
+
+    name: str
+    detail: str
+    annotation: str | None = None
+    child: "LogicalOp | None" = None
+
+    def chain(self) -> list["LogicalOp"]:
+        """The operator chain from this node down to the leaf."""
+        nodes, node = [], self
+        while node is not None:
+            nodes.append(node)
+            node = node.child
+        return nodes
+
+    def label(self) -> str:
+        """`Name(detail) [annotation]` — one EXPLAIN line, unindented."""
+        text = f"{self.name}({self.detail})"
+        if self.annotation:
+            text += f" [{self.annotation}]"
+        return text
+
+
+@dataclass(frozen=True)
 class CohortPlan:
     """A planned cohort query, ready for execution.
 
@@ -124,26 +156,54 @@ class CohortPlan:
     birth_satisfiable: bool = True
     scan_mode: str = "auto"
 
-    def describe(self) -> str:
-        """A human-readable plan, in the spirit of EXPLAIN."""
+    def logical(self) -> LogicalOp:
+        """The logical operator tree for this plan, root first.
+
+        ``Aggregate → CohortProject → AgeSelect → BirthSelect
+        [→ Sessionize] → TableScan``. The planner lowers this chain to a
+        physical operator tree (:func:`repro.cohana.operators.lower_plan`)
+        that the chunk scheduler drives.
+        """
         q = self.query
         bounds = ", ".join(b.describe() for b in self.birth_bounds)
         if not self.birth_satisfiable:
             bounds = "unsatisfiable"
-        lines = [
-            f"CohortAggregate(L={list(q.cohort_by)}, e={q.birth_action!r}, "
-            f"f={[str(a) for a in q.aggregates]})",
-            f"  AgeSelect({q.age_condition})",
-            f"  BirthSelect({q.birth_condition}) "
-            f"[{'pushed below age selection' if self.pushdown else 'not pushed'}]",
-            f"  TableScan(columns={list(self.columns)}, "
+        node = LogicalOp(
+            "TableScan",
+            f"columns={list(self.columns)}, "
             f"prune={'on' if self.prune else 'off'}, "
             f"scan_mode={self.scan_mode}, "
             f"birth_gid={self.birth_action_gid}, "
             f"time_range=[{self.time_low}, {self.time_high}], "
-            f"bounds=[{bounds}])",
-        ]
-        return "\n".join(lines)
+            f"bounds=[{bounds}]")
+        if q.sessionize is not None:
+            gap = q.sessionize.gap
+            if float(gap).is_integer():
+                gap = int(gap)
+            node = LogicalOp(
+                "Sessionize",
+                f"gap={gap}s, column={q.sessionize.column!r}",
+                child=node)
+        node = LogicalOp(
+            "BirthSelect", str(q.birth_condition),
+            ("pushed below age selection" if self.pushdown
+             else "not pushed"), node)
+        node = LogicalOp("AgeSelect", str(q.age_condition), None, node)
+        node = LogicalOp(
+            "CohortProject",
+            f"L={list(q.cohort_by)}, time_bin={q.cohort_time_bin}",
+            None, node)
+        return LogicalOp(
+            "CohortAggregate",
+            f"L={list(q.cohort_by)}, e={q.birth_action!r}, "
+            f"f={[str(a) for a in q.aggregates]}",
+            None, node)
+
+    def describe(self) -> str:
+        """A human-readable plan, in the spirit of EXPLAIN."""
+        root, *rest = self.logical().chain()
+        return "\n".join([root.label()]
+                         + [f"  {node.label()}" for node in rest])
 
 
 def plan_query(query: CohortQuery, table: CompressedActivityTable,
@@ -152,6 +212,10 @@ def plan_query(query: CohortQuery, table: CompressedActivityTable,
     """Build the physical plan for ``query`` over ``table``."""
     schema = table.schema
     query.validate(schema)
+    # Derived columns (sessionize) are visible to column pruning but
+    # carry no storage statistics, so bound extraction keeps the stored
+    # schema: a derived name simply is not sargable.
+    effective = query.effective_schema(schema)
     gid = table.global_id(schema.action.name, query.birth_action)
     low, high = extract_time_bounds(query.birth_condition,
                                     schema.time.name)
@@ -162,7 +226,7 @@ def plan_query(query: CohortQuery, table: CompressedActivityTable,
         birth_action_gid=gid,
         time_low=low,
         time_high=high,
-        columns=tuple(required_columns(query, schema)),
+        columns=tuple(required_columns(query, effective)),
         pushdown=pushdown,
         prune=prune,
         birth_bounds=bounds,

@@ -115,6 +115,12 @@ def render_query(query: CohortQuery, action_column: str = "action") -> str:
     if not isinstance(query.age_condition, TrueCondition):
         lines.append("AGE ACTIVITIES IN "
                      f"{render_condition(query.age_condition)}")
+    if query.sessionize is not None:
+        gap = query.sessionize.gap
+        if float(gap).is_integer():
+            gap = int(gap)
+        lines.append(f"SESSIONIZE (GAP = {gap} seconds) "
+                     f"AS {query.sessionize.column}")
     cohort = f"COHORT BY {', '.join(query.cohort_by)}"
     lines.append(f"{cohort} UNIT {query.cohort_time_bin}")
     return "\n".join(lines)

@@ -21,7 +21,36 @@ from dataclasses import dataclass, field, replace
 from repro.errors import QueryError
 from repro.cohort.aggregates import AggregateSpec
 from repro.cohort.conditions import Condition, TrueCondition
-from repro.schema import TIME_UNIT_SECONDS, ActivitySchema, ColumnRole
+from repro.schema import (
+    TIME_UNIT_SECONDS,
+    ActivitySchema,
+    ColumnRole,
+    ColumnSpec,
+    LogicalType,
+)
+
+
+@dataclass(frozen=True)
+class SessionizeSpec:
+    """Gap-based sessionization: a derived per-user session ordinal.
+
+    Within each user's time-ordered activity run, the first tuple opens
+    session 1 and a tuple opens a new session exactly when the gap to
+    the previous tuple *exceeds* ``gap`` seconds (a gap equal to ``gap``
+    stays in the same session). The ordinal is exposed as a derived
+    INT measure column named ``column``, usable in birth/age predicates,
+    COHORT BY and aggregates like any stored column.
+    """
+
+    column: str = "session"
+    gap: float = 1800.0
+
+    def __post_init__(self):
+        if not self.column:
+            raise QueryError("SESSIONIZE requires a column name")
+        if not self.gap > 0:
+            raise QueryError("SESSIONIZE gap must be positive, got "
+                             f"{self.gap!r}")
 
 
 @dataclass(frozen=True)
@@ -40,6 +69,9 @@ class CohortQuery:
         cohort_time_bin: bin width when cohorting by the time column.
         time_bin_origin: epoch-seconds alignment origin of time bins.
         table: source table name (used by engines with a catalog).
+        sessionize: optional gap-based session derivation; adds a
+            derived INT column visible to predicates, COHORT BY and
+            aggregates (see :class:`SessionizeSpec`).
     """
 
     birth_action: str
@@ -51,6 +83,7 @@ class CohortQuery:
     cohort_time_bin: str = "week"
     time_bin_origin: int = 0
     table: str | None = None
+    sessionize: SessionizeSpec | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "cohort_by", tuple(self.cohort_by))
@@ -77,6 +110,7 @@ class CohortQuery:
                 condition using ``AGE``/``Birth()``, or an age condition
                 referencing attributes that do not exist.
         """
+        schema = self.effective_schema(schema)
         try:
             schema.validate_cohort_attributes(list(self.cohort_by))
         except Exception as exc:
@@ -101,6 +135,24 @@ class CohortQuery:
             schema.column(name)  # raises on unknown columns
 
     # -- derived properties ----------------------------------------------------
+
+    def effective_schema(self, schema: ActivitySchema) -> ActivitySchema:
+        """``schema`` augmented with this query's derived columns.
+
+        The sessionize column appears as an INT measure so it can be
+        referenced anywhere a stored measure can: predicates, COHORT BY
+        and (numeric) aggregates. Raises QueryError if the derived name
+        collides with a stored column.
+        """
+        if self.sessionize is None:
+            return schema
+        name = self.sessionize.column
+        if name in schema:
+            raise QueryError(
+                f"SESSIONIZE column {name!r} collides with a stored "
+                "column; pick another name with AS")
+        return ActivitySchema(schema.columns + (
+            ColumnSpec(name, LogicalType.INT, ColumnRole.MEASURE),))
 
     @property
     def output_columns(self) -> list[str]:

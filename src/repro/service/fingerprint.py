@@ -33,7 +33,9 @@ from repro.cohort.query import CohortQuery
 
 #: Bump when the canonical form changes incompatibly, so fingerprints
 #: from older layouts cannot collide with current ones.
-FINGERPRINT_VERSION = 1
+#: v2: CohortQuery grew the ``sessionize`` field (its repr — the
+#: canonical form — changed for every query, sessionized or not).
+FINGERPRINT_VERSION = 2
 
 
 def query_key(query: CohortQuery) -> str:

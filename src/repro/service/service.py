@@ -60,6 +60,7 @@ from repro.cohana.pipeline import (
     execute,
     get_kernel,
 )
+from repro.cohana.operators import lower_plan
 from repro.cohana.planner import plan_query
 from repro.cohort.query import CohortQuery
 from repro.cohort.result import CohortResult
@@ -280,9 +281,12 @@ class QueryService:
     def explain(self, query: CohortQuery | str, jobs: int = 1,
                 backend: str | None = None, scan_mode: str = "auto",
                 pushdown: bool = True, prune: bool = True,
-                use_cache: bool | None = None, **parse_kw) -> str:
-        """EXPLAIN through the service: the engine's plan and execution
-        lines plus a ``Cache(...)`` line with the current disposition.
+                use_cache: bool | None = None,
+                executor: str | None = None, analyze: bool = False,
+                **parse_kw) -> str:
+        """EXPLAIN through the service: the physical operator tree and
+        execution lines plus a ``Cache(...)`` line with the current
+        disposition.
 
         An explicitly requested ``backend`` always survives into the
         output; with ``backend=None`` a *hit* reports the configuration
@@ -290,6 +294,11 @@ class QueryService:
         re-resolving (re-resolution could flip the auto-picked backend
         between the cold run and the hit, which would misreport what
         actually computed the bytes being served).
+
+        ``analyze=True`` executes the query through the engine —
+        deliberately *around* both caches, so EXPLAIN ANALYZE stays
+        observational too — and annotates each operator line with its
+        rows-in/rows-out and prune counters.
         """
         bound = self._bind(query, parse_kw)
         table, token = self._snapshot(bound.table)
@@ -309,7 +318,16 @@ class QueryService:
         if plan is None:
             plan = plan_query(bound, table, pushdown=pushdown,
                               prune=prune, scan_mode=config.scan_mode)
-        return (f"{plan.describe()}\n{config.describe()}\n"
+        executor = executor or self.default_executor
+        physical = lower_plan(plan, get_kernel(executor))
+        if analyze:
+            result, stats = self.engine.query_with_stats(
+                bound, executor=executor, pushdown=pushdown,
+                prune=prune, config=config)
+            tree = physical.describe(stats=stats, result=result)
+        else:
+            tree = physical.describe()
+        return (f"{tree}\n{config.describe()}\n"
                 f"Cache(disposition={disposition}, "
                 f"token={token[:18]}, "
                 f"entries={len(self.results)}/"

@@ -90,6 +90,30 @@ class TestQuery:
         assert "Execution(backend=threads, jobs=2, " \
                "scan_mode=compressed)" in out
 
+    def test_query_explain_operator_tree_counters(self, demo_cohana,
+                                                  capsys):
+        """--explain prints the physical operator tree, one line per
+        operator, annotated with rows-in/rows-out and prune counts."""
+        assert main(["query", str(demo_cohana), QUERY, "--explain"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("CohortAggregate(")
+        assert "[kernel=vectorized]" in lines[0]
+        assert " rows_out=" in lines[0]
+        stripped = [line.lstrip() for line in lines]
+        assert any(line.startswith("CohortProject(")
+                   and " rows_in=" in line and " cohorts=" in line
+                   for line in stripped)
+        assert any(line.startswith("AgeSelect(")
+                   and " rows_in=" in line and " rows_out=" in line
+                   for line in stripped)
+        assert any(line.startswith("BirthSelect(")
+                   and " users_in=" in line and " users_out=" in line
+                   for line in stripped)
+        assert any(line.startswith("TableScan(")
+                   and " chunks=" in line and " pruned=" in line
+                   and " rows_out=" in line
+                   for line in stripped)
+
     def test_query_processes_backend_matches_serial(self, demo_cohana,
                                                     capsys):
         assert main(["query", str(demo_cohana), QUERY,

@@ -35,6 +35,7 @@ _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 #: Anchored from code, README links or CI; keep in sync when renaming.
 _REQUIRED_SECTIONS = {
     "ARCHITECTURE.md": (
+        "## The physical operator tree: logical plan → executors",
         "## Sharded tables and append-only ingestion",
         "## Compaction, generations, and snapshot isolation",
         "## The query service: fingerprint → cache → pipeline",
@@ -49,6 +50,7 @@ _REQUIRED_SECTIONS = {
     ),
     "docs/query-language.md": (
         "### Quoted strings",
+        "## Sessionization (SESSIONIZE)",
         "## Birth selection",
         "## Materialized views",
     ),
