@@ -1,0 +1,93 @@
+"""HTTP service tier: request latency through a live server.
+
+Measures one ``POST /query`` round trip against a real
+:class:`repro.service.HttpCohortServer` bound to a loopback port —
+wire framing + admission + service caches + engine — once served from
+the warm result cache and once with ``use_cache=false`` (a full
+execution per request). Digest parity against the direct engine run is
+asserted on every measured response.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_http.py`` — pytest-benchmark timings, one
+  benchmark per (query, temperature);
+* ``PYTHONPATH=src python benchmarks/bench_http.py`` — the
+  concurrency-sweep report (p50/p99 at 1/16/64 clients, cache on/off,
+  plus the shed and drain verdicts) on stdout.
+"""
+
+import pytest
+
+from repro.bench import cohana_engine_on_disk
+from repro.bench.experiments import TABLE, selective_scan_query
+from repro.bench.http_load import _Client, _direct_digests
+from repro.service import (
+    AdmissionConfig,
+    HttpCohortServer,
+    QueryService,
+    start_in_thread,
+)
+from repro.workloads import MAIN_QUERIES
+
+SCALE = 4
+CHUNK_ROWS = 1024
+QUERIES = {
+    "Q1": lambda: MAIN_QUERIES["Q1"](TABLE),
+    "Q4": lambda: MAIN_QUERIES["Q4"](TABLE),
+    "selective_scan": selective_scan_query,
+}
+
+
+@pytest.fixture(scope="module")
+def served():
+    service = QueryService(cohana_engine_on_disk(SCALE, CHUNK_ROWS))
+    server = HttpCohortServer(service, admission=AdmissionConfig(
+        max_inflight=8, queue_depth=64, tenant_quota=64))
+    digests = _direct_digests(
+        service, {qname: make() for qname, make in QUERIES.items()})
+    with start_in_thread(server) as handle:
+        yield handle, digests
+
+
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_http_cached(benchmark, served, qname):
+    handle, digests = served
+    text = QUERIES[qname]()
+    client = _Client(handle.address)
+    client.request("POST", "/query", {"query": text})  # warm the cache
+    benchmark.extra_info.update(figure="serve_http", query=qname,
+                                temperature="hit", scale=SCALE)
+    status, _, payload = benchmark(
+        client.request, "POST", "/query", {"query": text})
+    client.close()
+    assert status == 200
+    assert payload["digest"] == digests[qname]
+    assert payload["stats"]["cache_disposition"] == "hit"
+
+
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_http_bypass(benchmark, served, qname):
+    handle, digests = served
+    text = QUERIES[qname]()
+    client = _Client(handle.address)
+    benchmark.extra_info.update(figure="serve_http", query=qname,
+                                temperature="bypass", scale=SCALE)
+    status, _, payload = benchmark(
+        client.request, "POST", "/query",
+        {"query": text, "use_cache": False})
+    client.close()
+    assert status == 200
+    assert payload["digest"] == digests[qname]
+    assert payload["stats"]["cache_disposition"] == "bypass"
+
+
+def main() -> int:
+    from repro.bench.http_load import serve_http_report
+
+    print(serve_http_report(scale=SCALE,
+                            chunk_rows=CHUNK_ROWS).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

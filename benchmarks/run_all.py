@@ -27,6 +27,15 @@ The ``compressed`` experiment runs the selective workload under
 records timings, the scheduler's pruning counters, per-query speedups
 and the cross-mode result-parity check in ``BENCH_compressed.json``.
 
+The ``serve_http`` experiment drives a live :class:`HttpCohortServer`
+with ``http.client`` worker threads: p50/p99 latency and throughput at
+client concurrency 1/16/64 with the result cache on and off (every
+response digest checked against a direct engine run), a burst against
+a one-slot admission config witnessing honest 429 + ``Retry-After``
+shedding, and a graceful drain with requests in flight completing with
+zero drops; ``BENCH_http.json`` records the sweep and the
+parity / shed / drain verdicts.
+
 The ``shards`` experiment ingests the dataset as user-disjoint batches
 into a sharded table directory, measuring each append (one new shard +
 manifest update) against the full single-file rewrite of the same
@@ -228,6 +237,46 @@ def run_service(seed: int, out: Path, scale: int = 8,
     print(f"\n[service-cache results written to {out}]")
 
 
+def run_serve_http(seed: int, out: Path, scale: int = 4,
+                   chunk_rows: int = 1024,
+                   concurrency: tuple[int, ...] = (1, 16, 64),
+                   requests_per_worker: int = 4) -> None:
+    """Run the HTTP serving-tier gauntlet (latency sweep at several
+    client concurrencies with the result cache on/off, the
+    load-shedding burst, the graceful-drain witness) and record
+    BENCH_http.json."""
+    from repro.bench.http_load import serve_http_records
+
+    payload = serve_http_records(scale=scale, chunk_rows=chunk_rows,
+                                 concurrency=concurrency,
+                                 requests_per_worker=requests_per_worker)
+    print("\nHTTP serving tier under load:")
+    for r in payload["records"]:
+        print(f"  clients={r['concurrency']:<3} cache={r['cache']:<4}"
+              f" p50 {r['p50_seconds']:.5f}s  p99 {r['p99_seconds']:.5f}s"
+              f"  {r['throughput_rps']:.0f} req/s"
+              f"  {'OK' if r['digest_parity'] else 'MISMATCH'}")
+    shed, drain = payload["shed"], payload["drain"]
+    print(f"  shed burst: {shed['shed_429']}/{shed['burst']} got 429 "
+          f"({', '.join(f'{k}={v}' for k, v in shed['reasons'].items())}"
+          f"), Retry-After honest: "
+          f"{'yes' if shed['retry_after_ok'] else 'NO'}")
+    print(f"  drain: {drain['completed']}/{drain['inflight_target']} "
+          f"in-flight completed, listener refused after: "
+          f"{'yes' if drain['refused_after_drain'] else 'NO'}")
+    print(f"  parity: {'OK' if payload['parity_ok'] else 'MISMATCH'}; "
+          f"shedding honest: {'yes' if payload['shed_ok'] else 'NO'}; "
+          f"drain clean: {'yes' if payload['drain_ok'] else 'NO'}")
+    payload = {
+        "experiment": "serve_http",
+        "seed": seed,
+        **payload,
+        **kernel_parity(scale, chunk_rows),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n[serve-http results written to {out}]")
+
+
 def run_shards(seed: int, out: Path, scale: int = 4,
                n_batches: int = 4, chunk_rows: int = 1024) -> None:
     """Run the sharded append-vs-rewrite experiment and record
@@ -398,6 +447,11 @@ def main(argv: list[str] | None = None) -> int:
                         / "BENCH_service.json",
                         help="where the service-cache experiment "
                              "records its timings")
+    parser.add_argument("--http-out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_http.json",
+                        help="where the HTTP serving-tier experiment "
+                             "records its timings")
     parser.add_argument("--shards-out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_shards.json",
@@ -433,8 +487,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    recorded = ("parallel", "compressed", "service", "shards", "views",
-                "compaction", "operators")
+    recorded = ("parallel", "compressed", "service", "serve_http",
+                "shards", "views", "compaction", "operators")
     figures = [n for n in selected if n not in recorded]
     if figures:
         code = run_and_print(figures)
@@ -448,6 +502,9 @@ def main(argv: list[str] | None = None) -> int:
     if "service" in selected:
         run_service(args.seed, args.service_out,
                     **({"scale": args.scale} if args.scale else {}))
+    if "serve_http" in selected:
+        run_serve_http(args.seed, args.http_out,
+                       **({"scale": args.scale} if args.scale else {}))
     if "shards" in selected:
         run_shards(args.seed, args.shards_out,
                    **({"scale": args.scale} if args.scale else {}))

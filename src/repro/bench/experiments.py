@@ -1127,6 +1127,14 @@ def ablations(scale: int = 8, chunk_rows: int = 1024,
     return report
 
 
+def serve_http(scale: int = 4, chunk_rows: int = 1024) -> Report:
+    """HTTP serving latency under concurrency (lazy import: the load
+    harness drives a live server and pulls in the whole service tier,
+    which in turn imports this module)."""
+    from repro.bench.http_load import serve_http_report
+    return serve_http_report(scale=scale, chunk_rows=chunk_rows)
+
+
 #: Registry used by run_all.py: name -> zero-arg callable returning
 #: a Report or a list of Reports.
 EXPERIMENTS = {
@@ -1141,6 +1149,7 @@ EXPERIMENTS = {
     "compressed": compressed_scan,
     "operators": operator_tree,
     "service": service_cache,
+    "serve_http": serve_http,
     "shards": shard_append,
     "views": materialized_views,
     "compaction": compaction,

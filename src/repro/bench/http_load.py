@@ -1,0 +1,379 @@
+"""The HTTP service tier under load: latency, shedding, drain.
+
+Drives a real :class:`repro.service.HttpCohortServer` (bound to a
+loopback port, served from a background thread) with ``http.client``
+worker threads and records what the ISSUE's serving tier promises:
+
+* **Latency/throughput** — p50/p99 seconds per request and requests
+  per second at concurrency 1/16/64, once against the warm result
+  cache (``cache=on``) and once with ``use_cache=false`` so every
+  request pays a full execution (``cache=off``). Every 200 response's
+  digest is compared against a direct
+  :class:`~repro.cohana.engine.CohanaEngine` run of the same query —
+  the server must never trade correctness for concurrency.
+* **Load shedding** — a burst against a deliberately tiny admission
+  config (one slot, no queue, per-tenant quota 1) must produce 429s
+  that carry an honest ``Retry-After`` and a shed ``reason``, with the
+  server's own counters agreeing with what the clients saw.
+* **Graceful drain** — requests still in flight when the drain is
+  requested all complete (zero dropped), and the listener refuses new
+  connections afterwards.
+
+``benchmarks/run_all.py serve_http`` records the whole payload in
+``BENCH_http.json``; ``tools/bench_report.py --strict`` fails the
+build on any ``*_ok`` verdict going false.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import threading
+import time
+
+from repro.bench.experiments import (
+    TABLE,
+    cohana_engine_on_disk,
+    selective_scan_query,
+)
+from repro.bench.harness import Report
+from repro.service import (
+    AdmissionConfig,
+    HttpCohortServer,
+    QueryService,
+    start_in_thread,
+)
+from repro.service.protocol import result_digest
+from repro.workloads import MAIN_QUERIES
+
+#: Concurrency levels of the latency sweep (the ISSUE's 1/16/64).
+DEFAULT_CONCURRENCY = (1, 16, 64)
+
+
+def _percentile(samples: list[float], q: float) -> float | None:
+    """The nearest-rank ``q``-quantile (0 < q <= 1) of ``samples``."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+class _Client:
+    """One keep-alive connection speaking the service's JSON dialect."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 120.0,
+                 tenant: str | None = None):
+        self._conn = http.client.HTTPConnection(
+            address[0], address[1], timeout=timeout)
+        self._tenant = tenant
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                ) -> tuple[int, dict, dict]:
+        """(status, headers, parsed JSON body) of one round trip."""
+        headers = {}
+        if self._tenant is not None:
+            headers["X-Tenant"] = self._tenant
+        data = None
+        if body is not None:
+            data = json.dumps(body)
+            headers["Content-Type"] = "application/json"
+        self._conn.request(method, path, body=data, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        return (response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                json.loads(raw) if raw else {})
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _bench_queries() -> dict[str, str]:
+    return {
+        "Q1": MAIN_QUERIES["Q1"](TABLE),
+        "Q4": MAIN_QUERIES["Q4"](TABLE),
+        "selective_scan": selective_scan_query(),
+    }
+
+
+def _load_phase(address: tuple[str, int], queries: dict[str, str],
+                digests: dict[str, str], concurrency: int,
+                requests_per_worker: int, use_cache: bool) -> dict:
+    """One cell of the sweep: ``concurrency`` workers, each issuing
+    ``requests_per_worker`` queries round-robin over the workload."""
+    names = sorted(queries)
+    latencies: list[float] = []
+    parity: list[bool] = []
+    errors: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(wid: int) -> None:
+        client = _Client(address)
+        mine: list[float] = []
+        mine_parity: list[bool] = []
+        mine_errors: list[int] = []
+        barrier.wait()
+        for i in range(requests_per_worker):
+            qname = names[(wid + i) % len(names)]
+            body: dict = {"query": queries[qname]}
+            if not use_cache:
+                body["use_cache"] = False
+            start = time.perf_counter()
+            status, _, payload = client.request("POST", "/query", body)
+            elapsed = time.perf_counter() - start
+            if status == 200:
+                mine.append(elapsed)
+                mine_parity.append(payload["digest"] == digests[qname])
+            else:
+                mine_errors.append(status)
+        client.close()
+        with lock:
+            latencies.extend(mine)
+            parity.extend(mine_parity)
+            errors.extend(mine_errors)
+
+    threads = [threading.Thread(target=worker, args=(wid,), daemon=True)
+               for wid in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    completed = len(latencies)
+    return {
+        "concurrency": concurrency,
+        "cache": "on" if use_cache else "off",
+        "requests": concurrency * requests_per_worker,
+        "completed": completed,
+        "errors": len(errors),
+        "error_statuses": sorted(set(errors)),
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "mean_seconds": (sum(latencies) / completed
+                         if completed else None),
+        "wall_seconds": wall,
+        "throughput_rps": (completed / wall if wall else None),
+        "digest_parity": bool(parity) and all(parity),
+    }
+
+
+def _shed_phase(service: QueryService, queries: dict[str, str],
+                burst: int = 12) -> dict:
+    """Overwhelm a one-slot, zero-queue, quota-1 server with a
+    simultaneous burst; every rejection must be an honest 429."""
+    server = HttpCohortServer(service, admission=AdmissionConfig(
+        max_inflight=1, queue_depth=0, tenant_quota=1,
+        timeout_seconds=60.0))
+    text = queries["selective_scan"]
+    outcomes: list[tuple[int, dict, dict]] = []
+    lock = threading.Lock()
+    with start_in_thread(server) as handle:
+        barrier = threading.Barrier(burst)
+
+        def worker(wid: int) -> None:
+            # Half the burst shares one tenant (tripping the quota),
+            # half gets its own (tripping the global queue bound).
+            tenant = "shared" if wid % 2 == 0 else f"solo-{wid}"
+            client = _Client(handle.address, tenant=tenant)
+            barrier.wait()
+            outcome = client.request(
+                "POST", "/query", {"query": text, "use_cache": False})
+            client.close()
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=worker, args=(w,),
+                                    daemon=True) for w in range(burst)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    counters = server.admission.counters
+    shed = [(headers, payload) for status, headers, payload in outcomes
+            if status == 429]
+    served = sum(1 for status, _, _ in outcomes if status == 200)
+    reasons: dict[str, int] = {}
+    for _, payload in shed:
+        reason = payload.get("error", {}).get("reason", "?")
+        reasons[reason] = reasons.get(reason, 0) + 1
+    retry_after_ok = bool(shed) and all(
+        "retry-after" in headers
+        and float(headers["retry-after"]) > 0
+        and payload.get("error", {}).get("retry_after") is not None
+        for headers, payload in shed)
+    return {
+        "burst": burst,
+        "served_200": served,
+        "shed_429": len(shed),
+        "other_statuses": sorted({status for status, _, _ in outcomes
+                                  if status not in (200, 429)}),
+        "reasons": reasons,
+        "retry_after_ok": retry_after_ok,
+        "server_counters": counters.as_dict(),
+        "counters_agree": counters.shed == len(shed)
+        and counters.completed == served,
+    }
+
+
+def _drain_phase(service: QueryService, queries: dict[str, str],
+                 inflight: int = 3) -> dict:
+    """Put requests in flight on a one-slot server, request the drain,
+    and witness that every in-flight request completes (zero dropped)
+    and the listener then refuses new connections."""
+    server = HttpCohortServer(service, admission=AdmissionConfig(
+        max_inflight=1, queue_depth=max(8, inflight),
+        tenant_quota=max(8, inflight), timeout_seconds=60.0))
+    handle = start_in_thread(server)
+    text = queries["selective_scan"]
+    statuses: list[int] = []
+    parity: list[bool] = []
+    lock = threading.Lock()
+    started = threading.Barrier(inflight + 1)
+
+    direct_digest = _direct_digests(service, queries)["selective_scan"]
+
+    def worker() -> None:
+        client = _Client(handle.address)
+        started.wait()
+        status, _, payload = client.request(
+            "POST", "/query", {"query": text, "use_cache": False})
+        client.close()
+        with lock:
+            statuses.append(status)
+            parity.append(status == 200
+                          and payload.get("digest") == direct_digest)
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(inflight)]
+    for thread in threads:
+        thread.start()
+    started.wait()
+    # Catch the server mid-flight (one executing, others queued) before
+    # pulling the plug; a too-fast engine just means an empty drain.
+    poller = _Client(handle.address)
+    witnessed = 0
+    deadline = time.perf_counter() + 2.0
+    while time.perf_counter() < deadline:
+        _, _, snapshot = poller.request("GET", "/stats")
+        witnessed = max(witnessed, snapshot["http"]["inflight"]
+                        + snapshot["http"]["waiting"])
+        if witnessed >= 2:
+            break
+        time.sleep(0.001)
+    poller.close()
+    handle.drain(timeout=60.0)
+    for thread in threads:
+        thread.join(10.0)
+    refused = False
+    try:
+        probe = _Client(handle.address, timeout=2.0)
+        probe.request("GET", "/healthz")
+        probe.close()
+    except OSError:
+        refused = True
+    counters = server.admission.counters
+    return {
+        "inflight_target": inflight,
+        "inflight_witnessed": witnessed,
+        "statuses": sorted(statuses),
+        "completed": statuses.count(200),
+        "digest_parity": bool(parity) and all(parity),
+        "refused_after_drain": refused,
+        "server_counters": counters.as_dict(),
+    }
+
+
+def _direct_digests(service: QueryService,
+                    queries: dict[str, str]) -> dict[str, str]:
+    """Ground truth: the digest of each query run straight on the
+    engine, bypassing every serving layer."""
+    engine = service.engine
+    return {qname: result_digest(engine.query(engine.parse(text)))
+            for qname, text in queries.items()}
+
+
+def serve_http_records(scale: int = 4, chunk_rows: int = 1024,
+                       concurrency: tuple[int, ...] = DEFAULT_CONCURRENCY,
+                       requests_per_worker: int = 4) -> dict:
+    """The full serving-tier gauntlet: latency sweep + shed + drain.
+
+    Returns the ``BENCH_http.json`` payload body (everything but the
+    experiment/seed envelope and the kernel-parity sweep, which
+    ``run_all.py`` folds in).
+    """
+    engine = cohana_engine_on_disk(scale, chunk_rows)
+    service = QueryService(engine)
+    queries = _bench_queries()
+    digests = _direct_digests(service, queries)
+
+    # Generous admission so the sweep measures queueing, not shedding:
+    # 64 workers must all fit in slots + queue.
+    peak = max(concurrency)
+    server = HttpCohortServer(service, admission=AdmissionConfig(
+        max_inflight=8, queue_depth=max(64, peak * 2),
+        tenant_quota=max(64, peak * 2), timeout_seconds=300.0))
+    records: list[dict] = []
+    with start_in_thread(server) as handle:
+        for level in concurrency:
+            for use_cache in (True, False):
+                if use_cache:
+                    # Warm every workload entry once so "cache=on"
+                    # really measures hits, not a racing first miss.
+                    warm = _Client(handle.address)
+                    for text in queries.values():
+                        warm.request("POST", "/query", {"query": text})
+                    warm.close()
+                records.append(_load_phase(
+                    handle.address, queries, digests, level,
+                    requests_per_worker, use_cache))
+    shed = _shed_phase(service, queries)
+    drain = _drain_phase(service, queries)
+    parity_ok = all(r["digest_parity"] and r["errors"] == 0
+                    for r in records)
+    shed_ok = (shed["shed_429"] >= 1 and shed["served_200"] >= 1
+               and not shed["other_statuses"]
+               and shed["retry_after_ok"] and shed["counters_agree"])
+    drain_ok = (drain["completed"] == drain["inflight_target"]
+                and drain["digest_parity"]
+                and drain["refused_after_drain"])
+    return {
+        "scale": scale,
+        "chunk_rows": chunk_rows,
+        "concurrency": list(concurrency),
+        "requests_per_worker": requests_per_worker,
+        "queries": sorted(queries),
+        "records": records,
+        "shed": shed,
+        "drain": drain,
+        "parity_ok": parity_ok,
+        "shed_ok": shed_ok,
+        "drain_ok": drain_ok,
+    }
+
+
+def serve_http_report(scale: int = 4, chunk_rows: int = 1024,
+                      concurrency: tuple[int, ...] = DEFAULT_CONCURRENCY,
+                      requests_per_worker: int = 4) -> Report:
+    """Figure-style report: p50/p99 seconds per request over the
+    concurrency sweep, cache on vs off."""
+    payload = serve_http_records(scale=scale, chunk_rows=chunk_rows,
+                                 concurrency=concurrency,
+                                 requests_per_worker=requests_per_worker)
+    report = Report(
+        title=f"HTTP serving latency under concurrency "
+              f"(scale={scale}, chunk={chunk_rows}, "
+              f"parity={'OK' if payload['parity_ok'] else 'MISMATCH'}, "
+              f"shed={'OK' if payload['shed_ok'] else 'BROKEN'}, "
+              f"drain={'OK' if payload['drain_ok'] else 'BROKEN'})",
+        x_label="clients", y_label="seconds per request")
+    for record in payload["records"]:
+        for stat in ("p50", "p99"):
+            report.series_named(
+                f"cache={record['cache']} {stat}").add(
+                record["concurrency"], record[f"{stat}_seconds"])
+    return report

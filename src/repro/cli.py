@@ -142,8 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="serve cohort queries from stdin "
                                      "(REPL on a terminal, concurrent "
-                                     "batch on piped input)")
+                                     "batch on piped input) or over "
+                                     "HTTP (--http HOST:PORT)")
     p.add_argument("input", help=".cohana file or sharded table dir")
+    p.add_argument("--http", default=None, metavar="HOST:PORT",
+                   help="serve over HTTP instead of stdin: an asyncio "
+                        "frontend with per-tenant admission control "
+                        "(POST /query /batch /ingest, GET /explain "
+                        "/stats /healthz); port 0 picks a free port; "
+                        "SIGTERM drains gracefully")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="HTTP: concurrent executions — the engine "
+                        "thread-pool size (default 8)")
+    p.add_argument("--queue-depth", type=int, default=16,
+                   help="HTTP: admitted requests allowed to wait for "
+                        "an execution slot; beyond this the request "
+                        "is shed with 429 (default 16)")
+    p.add_argument("--tenant-quota", type=int, default=8,
+                   help="HTTP: per-tenant (X-Tenant header) cap on "
+                        "in-flight requests (default 8)")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="HTTP: per-tenant token-bucket rate limit in "
+                        "requests/second (default: off)")
+    p.add_argument("--tenant-burst", type=int, default=8,
+                   help="HTTP: per-tenant token-bucket capacity "
+                        "(default 8)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="HTTP: per-request budget in seconds covering "
+                        "queue wait + execution (default 30)")
     p.add_argument("--jobs", type=int, default=4,
                    help="admission workers for piped input: distinct "
                         "queries run concurrently and, with the cache "
@@ -335,16 +361,25 @@ def _dispatch(args) -> int:
 
 
 def _serve(args) -> int:
-    """The ``serve`` command: queries from stdin through the service.
+    """The ``serve`` command: queries from stdin through the service
+    (or over HTTP with ``--http``).
 
     On a terminal this is a small REPL (one query per line, ``.help``
     for meta commands). On piped input, statements may span multiple
     lines (terminated by ``;`` or by parsing as a complete query);
     they are parsed first and then admitted as one concurrent batch
     per flush, so distinct queries run on ``--jobs`` admission workers
-    and identical ones are deduplicated in flight.
+    and identical ones are deduplicated in flight. Both the stdin path
+    and the HTTP frontend classify statement errors through the same
+    surface (:mod:`repro.service.protocol`): the REPL prints the
+    one-line rendering, HTTP sends the JSON payload as a 400.
     """
     import json
+
+    if args.http:
+        return _serve_http(args)
+
+    from repro.service.protocol import StatementAccumulator, format_error
 
     engine = CohanaEngine()
     service = QueryService(engine, enabled=args.cache,
@@ -474,57 +509,14 @@ def _serve(args) -> int:
                 print(f"error: {exc}", file=sys.stderr)
 
     # Piped input: batch consecutive queries, flushing at meta lines.
-    # A statement may span several lines: a line ending with ';' always
-    # terminates it, and a buffer that parses as a complete query is
-    # *held* — the next line may still extend it (clauses can follow in
-    # either order), and it only becomes a statement when a line
-    # arrives that cannot. A buffered fragment that can never complete
-    # is flushed as its own broken statement as soon as a
-    # self-contained statement follows it, so one typo does not
-    # swallow the rest of the session.
-    pending: list[str] = []
-    fragment: list[str] = []
-    fragment_complete = False
-
-    def parses(text: str) -> bool:
-        try:
-            parse_statement(text)
-        except ReproError:
-            return False
-        return True
-
-    def feed(line: str) -> None:
-        """Add one input line; move completed statements to pending."""
-        nonlocal fragment_complete
-        if fragment \
-                and not parses("\n".join([*fragment, line]).rstrip(";")) \
-                and (fragment_complete or parses(line.rstrip(";"))):
-            # The buffer cannot absorb this line. If it was a held
-            # complete statement, emit it; if it is a hopeless fragment
-            # followed by a self-contained statement, fail it on its
-            # own terms. Either way, the line starts fresh.
-            pending.append("\n".join(fragment))
-            fragment.clear()
-        fragment.append(line)
-        text = "\n".join(fragment)
-        if line.endswith(";"):
-            pending.append(text.rstrip(";"))
-            fragment.clear()
-            fragment_complete = False
-        else:
-            fragment_complete = parses(text)
-
-    def drain_fragment() -> None:
-        """A flush point ends any buffered statement (a partial one's
-        parse error is reported by bind() like any other broken
-        query)."""
-        nonlocal fragment_complete
-        if fragment:
-            pending.append("\n".join(fragment))
-            fragment.clear()
-        fragment_complete = False
+    # Multi-line statement accumulation is the shared
+    # StatementAccumulator (the HTTP frontend speaks whole statements,
+    # but both paths classify broken ones through the same error
+    # surface — see repro.service.protocol).
+    statements = StatementAccumulator()
 
     def flush() -> None:
+        pending = statements.take()
         if not pending:
             return
         batch: list[tuple[str, object]] = []
@@ -558,7 +550,8 @@ def _serve(args) -> int:
             try:
                 parsed = parse_statement(text)
             except ReproError as exc:
-                print(f"error: {text}: {exc}", file=sys.stderr)
+                print(f"error: {text}: {format_error(exc)}",
+                      file=sys.stderr)
                 continue
             if isinstance(parsed, (ParsedCreateView, ParsedDropView)):
                 # DDL is a barrier: queries batched before it run
@@ -567,13 +560,14 @@ def _serve(args) -> int:
                 try:
                     run_ddl(text, parsed)
                 except ReproError as exc:
-                    print(f"error: {text}: {exc}", file=sys.stderr)
+                    print(f"error: {text}: {format_error(exc)}",
+                          file=sys.stderr)
                 continue
             try:
                 batch.append((text, bind(text)))
             except ReproError as exc:
-                print(f"error: {text}: {exc}", file=sys.stderr)
-        pending.clear()
+                print(f"error: {text}: {format_error(exc)}",
+                      file=sys.stderr)
         run_batch()
 
     keep_going = True
@@ -582,7 +576,7 @@ def _serve(args) -> int:
         if not line or line.startswith("#"):
             continue
         if line.startswith("."):
-            drain_fragment()
+            statements.drain()
             flush()
             try:
                 if not run_meta(line):
@@ -591,12 +585,69 @@ def _serve(args) -> int:
             except ReproError as exc:
                 # A bad meta argument (e.g. `.explain <bogus query>`)
                 # must not kill the rest of the piped session.
-                print(f"error: {line}: {exc}", file=sys.stderr)
+                print(f"error: {line}: {format_error(exc)}",
+                      file=sys.stderr)
         else:
-            feed(line)
+            statements.feed(line)
     if keep_going:
-        drain_fragment()
+        statements.drain()
         flush()
+    return 0
+
+
+def _serve_http(args) -> int:
+    """``serve --http HOST:PORT``: the asyncio HTTP frontend.
+
+    Tables load lazily under each query's FROM name (same policy as
+    the stdin path); when the input is a sharded table directory,
+    ``POST /ingest`` appends CSV batches as new shards and refreshes
+    the registration (version token moves, caches invalidate exactly).
+    SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
+    requests, flush the final stats line.
+    """
+    import threading
+    from pathlib import Path
+
+    from repro.service.http import AdmissionConfig, HttpCohortServer
+    from repro.storage import MANIFEST_NAME
+
+    host, _, port_text = args.http.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"error: --http expects HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return 1
+    engine = CohanaEngine()
+    service = QueryService(engine, enabled=args.cache,
+                           executor=args.executor)
+    origin = parse_timestamp(args.origin) if args.origin else 0
+    parse_kw = dict(age_unit=args.age_unit, time_bin_origin=origin)
+    bind_lock = threading.Lock()
+
+    def bind_table(name: str) -> None:
+        """Load the served input under ``name`` on first use (worker
+        threads race here; the lock makes the load happen once)."""
+        with bind_lock:
+            if name not in engine.tables():
+                engine.load_table(name, args.input)
+
+    directory = Path(args.input)
+    sharded = (directory / MANIFEST_NAME).is_file()
+    server = HttpCohortServer(
+        service,
+        host=host, port=int(port_text),
+        admission=AdmissionConfig(
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            tenant_quota=args.tenant_quota,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            timeout_seconds=args.timeout),
+        bind_table=bind_table,
+        ingest_dir=directory if sharded else None,
+        csv_schema=game_schema() if sharded else None,
+        parse_kw=parse_kw,
+        scan_mode=args.scan_mode)
+    server.run()
     return 0
 
 

@@ -96,6 +96,14 @@ class ExecStats:
     after incrementally scanning newly appended shards; see
     :mod:`repro.views`). On a hit the scan counters describe the
     *original* cold execution that produced the cached result.
+
+    The serving-tier fields are stamped by the HTTP frontend
+    (:mod:`repro.service.http`) into the stats it puts on the wire:
+    ``admission_wait_seconds`` is how long *this* request waited for
+    an execution slot, and the ``http_*`` fields snapshot the server's
+    aggregate admitted/shed/timeout/drained counters at response time
+    (also served by ``GET /stats``). Off-wire executions leave all of
+    them at zero.
     """
 
     chunks_total: int = 0
@@ -113,6 +121,11 @@ class ExecStats:
     cache_evictions: int = 0
     cache_invalidations: int = 0
     cache_disposition: str | None = None
+    admission_wait_seconds: float = 0.0
+    http_admitted: int = 0
+    http_shed: int = 0
+    http_timeouts: int = 0
+    http_drained: int = 0
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,11 @@
 
 Layering::
 
+    HTTP clients          POST /query /batch /ingest, GET /explain ...
+        │
+    HttpCohortServer      asyncio frontend: admission control
+        │                 (token buckets, quotas, bounded queue,
+        │                 timeouts, graceful drain) → engine pool
     callers / CLI (query, serve)
         │
     QueryService          fingerprint → result/plan cache → admission
@@ -10,8 +15,11 @@ Layering::
         │
     chunk pipeline        scheduler, kernels, backends
 
-See :mod:`repro.service.service` for the admission semantics and
-:mod:`repro.service.fingerprint` for what makes a fingerprint sound.
+See :mod:`repro.service.service` for the admission semantics,
+:mod:`repro.service.fingerprint` for what makes a fingerprint sound,
+:mod:`repro.service.http` for the network tier and
+:mod:`repro.service.protocol` for the wire codecs and the statement
+surface shared with the ``serve`` REPL.
 """
 
 from repro.service.cache import CacheCounters, LRUCache
@@ -19,6 +27,25 @@ from repro.service.fingerprint import (
     plan_fingerprint,
     query_key,
     result_fingerprint,
+)
+from repro.service.http import (
+    AdmissionConfig,
+    AdmissionController,
+    HttpCohortServer,
+    HttpCounters,
+    ServerHandle,
+    Shed,
+    TokenBucket,
+    start_in_thread,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    StatementAccumulator,
+    error_payload,
+    format_error,
+    result_digest,
+    result_payload,
+    status_for,
 )
 from repro.service.service import (
     DISPOSITIONS,
@@ -28,13 +55,28 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "CacheCounters",
     "CachedEntry",
     "DISPOSITIONS",
+    "HttpCohortServer",
+    "HttpCounters",
     "LRUCache",
+    "ProtocolError",
     "QueryService",
+    "ServerHandle",
     "ServiceCounters",
+    "Shed",
+    "StatementAccumulator",
+    "TokenBucket",
+    "error_payload",
+    "format_error",
     "plan_fingerprint",
     "query_key",
+    "result_digest",
     "result_fingerprint",
+    "result_payload",
+    "start_in_thread",
+    "status_for",
 ]

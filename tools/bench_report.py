@@ -3,7 +3,8 @@
 
 Every recorded experiment (``benchmarks/run_all.py``) writes a JSON
 payload — parallel scaling, compressed-domain scans, the service
-cache, shard appends, materialized views. This tool renders them as a
+cache, the HTTP serving tier, shard appends, materialized views. This
+tool renders them as a
 single Markdown document: a summary table (one row per experiment with
 its pass/fail verdicts) followed by a per-experiment trajectory table,
 so a CI run's bench-smoke artifacts read as one page instead of five
@@ -28,7 +29,7 @@ _TABLE_KEYS = ("steps", "summary", "records", "selective_scan", "parity")
 
 #: Keys carrying per-experiment context worth a one-line mention.
 _CONTEXT_KEYS = ("seed", "scale", "n_batches", "chunk_rows", "jobs",
-                 "cpus", "query")
+                 "cpus", "query", "concurrency", "requests_per_worker")
 
 
 def _fmt(value) -> str:

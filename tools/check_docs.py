@@ -39,6 +39,7 @@ _REQUIRED_SECTIONS = {
         "## Sharded tables and append-only ingestion",
         "## Compaction, generations, and snapshot isolation",
         "## The query service: fingerprint → cache → pipeline",
+        "## The HTTP service tier: admission control over the wire",
         "## Zone maps and compressed-domain scans",
         "## Materialized views: per-shard partials, incremental refresh",
     ),
@@ -46,7 +47,14 @@ _REQUIRED_SECTIONS = {
         "## Growing tables: sharded storage and `ingest --append`",
         "## Compaction and retention",
         "## Caching and serving",
+        "## Serving over HTTP",
         "## Materialized views: incremental per-shard refresh",
+    ),
+    "docs/http-api.md": (
+        "## Endpoints",
+        "## Admission control",
+        "## Errors",
+        "## Lifecycle",
     ),
     "docs/query-language.md": (
         "### Quoted strings",
