@@ -68,5 +68,5 @@ for label, size, rate in rated[:5]:
 
 print("\nMost retained users at day 7 (absolute, via "
       "cohort_comparison):")
-for label, size, count in cohort_comparison(result, at_age=7)[:3]:
+for label, _size, count in cohort_comparison(result, at_age=7)[:3]:
     print(f"  {label:<15} {count} users")

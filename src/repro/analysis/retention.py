@@ -126,8 +126,8 @@ def cohort_comparison(result: CohortResult, measure: str | None = None,
     """
     report = result.pivot(measure)
     ranked = []
-    for label, size, row in zip(report.cohort_labels,
-                                report.cohort_sizes, report.cells):
+    for label, size in zip(report.cohort_labels,
+                           report.cohort_sizes):
         value = report.cell(label, at_age)
         if value is not None:
             ranked.append((label, size, value))

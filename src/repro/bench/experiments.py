@@ -163,9 +163,9 @@ def fig09_age_selection(ages=(1, 2, 4, 6, 8, 10, 12, 14),
     sq7 = report.series_named("Q7 (norm. by Q1)")
     sq8 = report.series_named("Q8 (norm. by Q3)")
     for g in ages:
-        t7 = time_call(lambda: engine.query(W.q7(g, TABLE)),
+        t7 = time_call(lambda g=g: engine.query(W.q7(g, TABLE)),
                        repeat=repeat)
-        t8 = time_call(lambda: engine.query(W.q8(g, TABLE)),
+        t8 = time_call(lambda g=g: engine.query(W.q8(g, TABLE)),
                        repeat=repeat)
         sq7.add(g, round(t7 / base_q1, 3))
         sq8.add(g, round(t8 / base_q3, 3))
@@ -190,7 +190,7 @@ def fig10_mv_generation(scales=DEFAULT_SCALES,
         for scale in scales:
             table = dataset(scale)
 
-            def build():
+            def build(executor=executor, table=table):
                 db = Database(executor=executor)
                 db.register_activity_table(TABLE, table)
                 MvScheme(db, TABLE, table.schema).prepare("launch")
@@ -1123,7 +1123,8 @@ def ablations(scale: int = 8, chunk_rows: int = 1024,
         for qname in ("Q1", "Q2", "Q4"):
             text = _main_query(qname)
             series.add(qname, time_call(
-                lambda: engine.query(text, **kw), repeat=repeat))
+                lambda text=text, kw=kw: engine.query(text, **kw),
+                repeat=repeat))
     return report
 
 

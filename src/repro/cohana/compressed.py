@@ -86,9 +86,8 @@ def single_attr_name(cond: Condition) -> str | None:
                 and isinstance(cond.high, Literal)):
             return cond.operand.name
         return None
-    if isinstance(cond, InList):
-        if isinstance(cond.operand, AttrRef):
-            return cond.operand.name
+    if isinstance(cond, InList) and isinstance(cond.operand, AttrRef):
+        return cond.operand.name
     return None
 
 

@@ -187,8 +187,8 @@ class TableScanOp(PhysicalOp):
     def __init__(self, stage: LogicalOp):
         self.stages = (stage,)
 
-    def execute(self, ctx: ChunkContext):
-        return None
+    def execute(self, ctx: ChunkContext) -> None:
+        return
 
 
 class SessionizeOp(PhysicalOp):
@@ -198,14 +198,13 @@ class SessionizeOp(PhysicalOp):
         self.spec = spec
         self.stages = (stage,)
 
-    def execute(self, ctx: ChunkContext):
+    def execute(self, ctx: ChunkContext) -> None:
         base_schema = ctx.table.schema
         values = session_values(ctx.chunk, base_schema.time.name,
                                 self.spec.gap)
         ctx.chunk = SessionChunk(ctx.chunk, self.spec.column, values)
         ctx.table = SessionTable(
             ctx.table, ctx.plan.query.effective_schema(base_schema))
-        return None
 
 
 class KernelOp(PhysicalOp):

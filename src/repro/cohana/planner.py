@@ -282,10 +282,10 @@ def extract_time_bounds(condition: Condition,
             bounds = _compare_bounds(part, time_column)
             if bounds is not None:
                 tighten(*bounds)
-        elif isinstance(part, InList) and _is_time_attr(part.operand,
-                                                        time_column):
-            if part.values:
-                tighten(int(min(part.values)), int(max(part.values)))
+        elif (isinstance(part, InList)
+              and _is_time_attr(part.operand, time_column)
+              and part.values):
+            tighten(int(min(part.values)), int(max(part.values)))
     return low, high
 
 

@@ -49,8 +49,10 @@ _EVENT_WEIGHTS = np.array(
 _EVENT_WEIGHTS = _EVENT_WEIGHTS / _EVENT_WEIGHTS.sum()
 
 
-def generate(config: GameConfig = GameConfig()) -> ActivityTable:
+def generate(config: GameConfig | None = None) -> ActivityTable:
     """Generate the scale-1 activity table for ``config``."""
+    if config is None:
+        config = GameConfig()
     rng = np.random.default_rng(config.seed)
     schema = game_schema()
     columns: dict[str, list] = {name: [] for name in schema.names()}

@@ -68,7 +68,8 @@ def _rows(plan: LogicalPlan, lookup) -> Iterator[tuple]:
         rows = list(_rows(plan.child, lookup))
         for key, ascending in zip(reversed(plan.keys),
                                   reversed(plan.ascending)):
-            rows.sort(key=lambda r: _sort_key(eval_row(key, r, schema)),
+            rows.sort(key=lambda r, key=key: _sort_key(
+                          eval_row(key, r, schema)),
                       reverse=not ascending)
         yield from rows
     elif isinstance(plan, Limit):

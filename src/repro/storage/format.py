@@ -63,7 +63,7 @@ import numpy as np
 from repro.errors import StorageError
 from repro.schema import ActivitySchema, ColumnRole, ColumnSpec, LogicalType
 from repro.storage.bitpack import PackedArray
-from repro.storage.chunk import Chunk
+from repro.storage.chunk import Chunk, EncodedColumn
 from repro.storage.delta import DeltaEncodedColumn, GlobalRange
 from repro.storage.dictionary import DictEncodedColumn, GlobalDictionary
 from repro.storage.raw import RawFloatColumn
@@ -96,7 +96,7 @@ _ZONE_FLOAT = 1
 class _Writer:
     """Append-only little-endian byte buffer."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._parts: list[bytes] = []
 
     def bytes_(self, data: bytes) -> None:
@@ -132,7 +132,7 @@ class _Writer:
 class _Reader:
     """Sequential little-endian byte reader with bounds checking."""
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes | mmap.mmap):
         self._data = data
         self._pos = 0
 
@@ -187,7 +187,7 @@ def _read_packed(r: _Reader) -> PackedArray:
 
 # -- columns ------------------------------------------------------------------
 
-def _write_column(w: _Writer, col) -> None:
+def _write_column(w: _Writer, col: EncodedColumn) -> None:
     if isinstance(col, DictEncodedColumn):
         w.u8(_KIND_DICT)
         _write_packed(w, col.chunk_dict)
@@ -205,7 +205,7 @@ def _write_column(w: _Writer, col) -> None:
         raise StorageError(f"unknown column segment type: {type(col)}")
 
 
-def _read_column(r: _Reader):
+def _read_column(r: _Reader) -> EncodedColumn:
     kind = r.u8()
     if kind == _KIND_DICT:
         chunk_dict = _read_packed(r)
@@ -385,7 +385,7 @@ def serialize(table: CompressedActivityTable,
     return pw.getvalue() + body
 
 
-def _read_chunk_index(data, n_chunks: int,
+def _read_chunk_index(data: bytes | mmap.mmap, n_chunks: int,
                       header_end: int) -> list[tuple[int, int]]:
     """Parse and validate the version-3 chunk index.
 
@@ -415,7 +415,8 @@ def _read_chunk_index(data, n_chunks: int,
     return entries
 
 
-def deserialize(data, lazy: bool = False) -> CompressedActivityTable:
+def deserialize(data: bytes | mmap.mmap,
+                lazy: bool = False) -> CompressedActivityTable:
     """Decode bytes produced by :func:`serialize`.
 
     Args:
@@ -534,7 +535,7 @@ def load(path: str | Path,
     from repro.storage.sharded import is_sharded_path, load_sharded
     if is_sharded_path(path):
         return load_sharded(path)
-    table = None
+    table: CompressedActivityTable | None = None
     if lazy and (version := _peek_version(path)) is not None \
             and version >= MMAP_VERSION:
         with open(path, "rb") as f:

@@ -52,7 +52,7 @@ class ZoneMap:
     distinct_count: int
     null_count: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.distinct_count < 0 or self.null_count < 0:
             raise StorageError("zone-map counts must be non-negative")
         if self.distinct_count and self.min_value > self.max_value:
@@ -69,7 +69,8 @@ class ZoneMap:
         """True when the summarised values are floats (raw columns)."""
         return isinstance(self.min_value, float)
 
-    def overlaps(self, low, high) -> bool:
+    def overlaps(self, low: int | float | None,
+                 high: int | float | None) -> bool:
         """Could any segment value fall inside ``[low, high]``?
 
         ``None`` bounds are unbounded; an empty segment never overlaps.
@@ -84,7 +85,8 @@ class ZoneMap:
             return False
         return True
 
-    def within(self, low, high) -> bool:
+    def within(self, low: int | float | None,
+               high: int | float | None) -> bool:
         """Does *every* segment value fall inside ``[low, high]``?
 
         The *sufficient* half: ``True`` proves a range predicate is
@@ -100,7 +102,9 @@ class ZoneMap:
         return True
 
 
-def build_zone_map(col) -> ZoneMap:
+def build_zone_map(
+        col: DictEncodedColumn | DeltaEncodedColumn | RawFloatColumn,
+) -> ZoneMap:
     """Compute the zone map of one encoded column segment."""
     if isinstance(col, DictEncodedColumn):
         if col.cardinality == 0:
@@ -120,6 +124,9 @@ def build_zone_map(col) -> ZoneMap:
     raise StorageError(f"cannot build a zone map for {type(col).__name__}")
 
 
-def build_zone_maps(columns: dict) -> dict[str, ZoneMap]:
+def build_zone_maps(
+        columns: dict[str, DictEncodedColumn | DeltaEncodedColumn
+                      | RawFloatColumn],
+) -> dict[str, ZoneMap]:
     """Zone maps for every encoded column of a chunk, keyed by name."""
     return {name: build_zone_map(col) for name, col in columns.items()}

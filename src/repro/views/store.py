@@ -29,8 +29,8 @@ Two stores share one interface:
   tables (keyed by the engine's version token when no content digest
   exists); it lives for the process only.
 
-All writes are atomic (write-temp + ``os.replace``), matching the
-manifest's discipline; a corrupt or unreadable partial file degrades to
+All writes are atomic (write-temp + fsync + ``os.replace``), matching
+the manifest's discipline; a corrupt or unreadable partial file degrades to
 a cache miss (the shard is re-scanned), never to a wrong answer.
 """
 
@@ -180,8 +180,10 @@ class DiskViewStore:
     def _write_atomic(path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n",
-                       encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(json.dumps(payload, indent=2) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
 
     # -- partials -------------------------------------------------------------

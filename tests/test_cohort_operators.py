@@ -23,7 +23,7 @@ from repro.cohort import (
     evaluate,
     lit,
 )
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
 from repro.table import ActivityTable
 
 from helpers import make_game_schema
@@ -231,7 +231,7 @@ class TestQueryValidation:
 
     def test_unknown_condition_attr_rejected(self, game_schema):
         q = self.make(birth_condition=eq("bogus", 1))
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError):
             q.validate(game_schema)
 
     def test_output_columns(self):

@@ -114,9 +114,9 @@ class TestCrashDuringCompaction:
     @pytest.mark.parametrize("point", CRASH_POINTS)
     def test_every_point_recovers_exactly(self, shard_dir, point):
         gen0, rows0, logical0 = _snapshot(shard_dir)
-        with FaultInjector(crash_at=point) as inj:
-            with pytest.raises(InjectedCrash):
-                compact(shard_dir)
+        with FaultInjector(crash_at=point) as inj, \
+                pytest.raises(InjectedCrash):
+            compact(shard_dir)
         assert inj.crashed and inj.points_fired()[-1] == point
 
         generation, rows, logical = _snapshot(shard_dir)
@@ -133,9 +133,9 @@ class TestCrashDuringCompaction:
     @pytest.mark.parametrize("point", PRE_COMMIT_POINTS)
     def test_retry_after_crash_succeeds(self, shard_dir, point):
         gen0, rows0, logical0 = _snapshot(shard_dir)
-        with FaultInjector(crash_at=point):
-            with pytest.raises(InjectedCrash):
-                compact(shard_dir)
+        with FaultInjector(crash_at=point), \
+                pytest.raises(InjectedCrash):
+            compact(shard_dir)
         # The retry reaps any leftover of the crashed attempt itself
         # (gc=True pre-cleans under the publish lock) and completes.
         result = compact(shard_dir)
@@ -153,9 +153,9 @@ class TestCrashDuringCompaction:
         crashing — the on-disk state an unsynced write can leave. The
         torn file must be invisible to readers and reaped by GC."""
         gen0, rows0, logical0 = _snapshot(shard_dir)
-        with FaultInjector(crash_at=point, tear_bytes=tear) as inj:
-            with pytest.raises(InjectedCrash):
-                compact(shard_dir)
+        with FaultInjector(crash_at=point, tear_bytes=tear) as inj, \
+                pytest.raises(InjectedCrash):
+            compact(shard_dir)
         torn = inj.fired[-1][1]
         assert torn is not None and torn.stat().st_size == tear
         assert _snapshot(shard_dir) == (gen0, rows0, logical0)
@@ -188,9 +188,9 @@ class TestCrashDuringAppend:
     def test_every_point_recovers_exactly(self, shard_dir, parts,
                                           point):
         gen0, rows0, _logical0 = _snapshot(shard_dir)
-        with FaultInjector(crash_at=point):
-            with pytest.raises(InjectedCrash):
-                append_shard(shard_dir, parts[3], target_chunk_rows=64)
+        with FaultInjector(crash_at=point), \
+                pytest.raises(InjectedCrash):
+            append_shard(shard_dir, parts[3], target_chunk_rows=64)
         generation, rows, _ = _snapshot(shard_dir)
         if point == "manifest_published":
             assert generation == gen0 + 1
@@ -203,9 +203,9 @@ class TestCrashDuringAppend:
         """A crash after the shard write leaves an orphan file holding
         the next shard name; GC frees the name and the retry lands."""
         gen0, rows0, _ = _snapshot(shard_dir)
-        with FaultInjector(crash_at="manifest_replace"):
-            with pytest.raises(InjectedCrash):
-                append_shard(shard_dir, parts[3], target_chunk_rows=64)
+        with FaultInjector(crash_at="manifest_replace"), \
+                pytest.raises(InjectedCrash):
+            append_shard(shard_dir, parts[3], target_chunk_rows=64)
         # The orphan blocks a blind retry (exclusive create)...
         with pytest.raises(StorageError, match="already exists"):
             append_shard(shard_dir, parts[3], target_chunk_rows=64)

@@ -148,7 +148,7 @@ class TestScaling:
                  int(scaled.column("gold")[i]))
                 for i in range(start, stop))
             by_user.setdefault(base, []).append(signature)
-        for base, signatures in by_user.items():
+        for signatures in by_user.values():
             assert len(signatures) == 2
             assert signatures[0] == signatures[1]
 

@@ -11,6 +11,7 @@ byte-identical-reload bugfix.
 """
 
 import json
+import os
 import random
 from dataclasses import replace
 
@@ -415,6 +416,40 @@ class TestEngineViews:
         assert status["table"] == "G"
         assert status["persisted"] is True
         assert status["shards_cached"] == status["shards_total"]
+
+
+# ---------------------------------------------------------------------------
+# Disk store: durability of the write-temp + replace seam
+# ---------------------------------------------------------------------------
+
+
+class TestWriteAtomicDurability:
+    def test_fsync_precedes_replace(self, tmp_path, monkeypatch):
+        """Regression: partial files must be fsynced before the rename.
+
+        Without the fsync a crash shortly after ``os.replace`` can leave
+        the *final* path pointing at zero-length or partial bytes on
+        some filesystems — surfaced by repolint's fsync-before-replace
+        rule and pinned here.
+        """
+        import repro.views.store as store_mod
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            store_mod.os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1])
+        monkeypatch.setattr(
+            store_mod.os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1])
+
+        store = DiskViewStore(tmp_path / "VIEWS")
+        store._write_atomic(tmp_path / "VIEWS" / "x.json", {"k": 1})
+
+        assert events == ["fsync", "replace"]
+        data = json.loads((tmp_path / "VIEWS" / "x.json").read_text())
+        assert data == {"k": 1}
+        assert not (tmp_path / "VIEWS" / "x.json.tmp").exists()
 
 
 # ---------------------------------------------------------------------------

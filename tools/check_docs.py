@@ -42,6 +42,7 @@ _REQUIRED_SECTIONS = {
         "## The HTTP service tier: admission control over the wire",
         "## Zone maps and compressed-domain scans",
         "## Materialized views: per-shard partials, incremental refresh",
+        "## Static invariants",
     ),
     "README.md": (
         "## Growing tables: sharded storage and `ingest --append`",
@@ -49,6 +50,7 @@ _REQUIRED_SECTIONS = {
         "## Caching and serving",
         "## Serving over HTTP",
         "## Materialized views: incremental per-shard refresh",
+        "## Correctness tooling",
     ),
     "docs/http-api.md": (
         "## Endpoints",

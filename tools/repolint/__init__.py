@@ -1,0 +1,30 @@
+"""repolint — AST-based invariant checker for this repository.
+
+Generic linters see style; this tool sees the engine's contracts:
+atomic manifest publishes, catalog-lock discipline, lock-order
+acyclicity, kernel purity, crash-seam exception hygiene, executor
+lifecycles, fingerprint determinism, and fsync-before-replace. Run
+``python -m tools.repolint src/ --strict`` (CI does, on every push)
+or ``--list-rules`` for the battery; ARCHITECTURE.md's "Static
+invariants" section maps each rule to the prose contract it enforces.
+"""
+
+from tools.repolint.core import (
+    Engine,
+    Finding,
+    ModuleContext,
+    Project,
+    Report,
+    Rule,
+)
+from tools.repolint.rules import all_rules
+
+__all__ = [
+    "Engine",
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Report",
+    "Rule",
+    "all_rules",
+]

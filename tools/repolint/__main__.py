@@ -1,0 +1,6 @@
+"""``python -m tools.repolint`` entry point."""
+
+from tools.repolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""repolint command line: lint, list rules, or self-check fixtures.
+
+Usage::
+
+    python -m tools.repolint src/                 # lint the tree
+    python -m tools.repolint src/ --strict        # warnings fail too
+    python -m tools.repolint --list-rules         # the rule table
+    python -m tools.repolint --self-check         # fixtures gauntlet
+    python -m tools.repolint src/ --json out.json # machine findings
+
+Exit codes: 0 clean, 1 findings (or a self-check failure), 2 usage /
+unparsable source. The self-check is CI's proof that the analyzer
+itself works: every rule must fire on its seeded ``violation``
+fixture tree, stay silent on its ``clean`` tree, and (where present)
+honour a reasoned suppression in its ``suppressed`` tree — a rule
+that never fires on its own fixture fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.repolint.core import Engine, Report, Rule, rule_json
+from tools.repolint.rules import all_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description=("AST-based invariant checker for this engine's "
+                     "concurrency, crash-safety and kernel-purity "
+                     "contracts"))
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings fail the run too")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids to run (default all)")
+    p.add_argument("--json", metavar="FILE", dest="json_out",
+                   help="write the JSON report to FILE ('-' = stdout)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.add_argument("--self-check", action="store_true",
+                   help="run every rule against its seeded fixtures")
+    p.add_argument("--root", default=".",
+                   help="paths in output are relative to this "
+                        "directory (default: cwd)")
+    return p
+
+
+def _select(rules: list[Rule], spec: str | None) -> list[Rule]:
+    if spec is None:
+        return rules
+    wanted = {part.strip() for part in spec.split(",") if part.strip()}
+    known = {rule.id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"repolint: unknown rule id(s): {', '.join(sorted(unknown))}"
+            f" (see --list-rules)")
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def list_rules(rules: list[Rule]) -> str:
+    width = max(len(rule.id) for rule in rules)
+    lines = []
+    for rule in rules:
+        scope = ("everywhere" if rule.paths is None
+                 else ", ".join(rule.paths))
+        lines.append(f"{rule.id:<{width}}  [{rule.severity}] "
+                     f"{rule.contract}")
+        lines.append(f"{'':<{width}}  scope: {scope}")
+    return "\n".join(lines)
+
+
+def _emit(report: Report, rules: list[Rule], json_out: str | None,
+          quiet: bool = False) -> None:
+    if json_out:
+        payload = json.dumps(report.to_json(rules), indent=2,
+                             sort_keys=True) + "\n"
+        if json_out == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(json_out).write_text(payload, encoding="utf-8")
+    if quiet:
+        return
+    for problem in report.parse_errors:
+        print(f"error: cannot parse {problem}", file=sys.stderr)
+    for finding in sorted(report.findings,
+                          key=lambda f: (f.path, f.line, f.col)):
+        print(finding.render())
+    print(f"repolint: {len(report.findings)} finding(s) "
+          f"({len(report.errors)} error(s), "
+          f"{len(report.warnings)} warning(s)), "
+          f"{len(report.suppressed)} suppressed, "
+          f"{report.files_scanned} file(s) scanned")
+
+
+def self_check(rules: list[Rule], verbose: bool = True) -> int:
+    """Prove every rule fires on its seeded violation and stays quiet
+    on its clean twin. Returns the number of failing rules."""
+    failures = 0
+    for rule in rules:
+        rule_dir = FIXTURES / rule.id
+        problems: list[str] = []
+        if not rule_dir.is_dir():
+            problems.append("no fixture directory — every rule ships "
+                            "a seeded violation")
+        else:
+            problems.extend(_check_case(rule, rule_dir / "violation",
+                                        expect="fire"))
+            problems.extend(_check_case(rule, rule_dir / "clean",
+                                        expect="silent"))
+            if (rule_dir / "suppressed").is_dir():
+                problems.extend(_check_case(
+                    rule, rule_dir / "suppressed", expect="suppressed"))
+        status = "ok" if not problems else "FAIL"
+        if verbose or problems:
+            print(f"self-check {rule.id}: {status}")
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        if problems:
+            failures += 1
+    return failures
+
+
+def _check_case(rule: Rule, case_dir: Path, expect: str) -> list[str]:
+    if not case_dir.is_dir():
+        return [f"missing fixture tree: {case_dir.name}/"]
+    # The full battery runs (fixtures may legitimately trip other
+    # rules); assertions are about the rule under test only.
+    report = Engine(all_rules()).run([case_dir], root=case_dir)
+    if report.parse_errors:
+        return [f"{case_dir.name}/: unparsable fixture: "
+                f"{report.parse_errors[0]}"]
+    fired = [f for f in report.findings if f.rule == rule.id]
+    suppressed = [f for f in report.suppressed if f.rule == rule.id]
+    if expect == "fire" and not fired:
+        return [f"{case_dir.name}/: rule did not fire on its seeded "
+                f"violation"]
+    if expect == "silent" and fired:
+        return [f"{case_dir.name}/: rule fired on clean code: "
+                f"{fired[0].render()}"]
+    if expect == "suppressed":
+        if fired:
+            return [f"{case_dir.name}/: suppression did not take: "
+                    f"{fired[0].render()}"]
+        if not suppressed:
+            return [f"{case_dir.name}/: nothing was suppressed — the "
+                    f"fixture no longer violates the rule"]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    rules = _select(all_rules(), args.select)
+    if args.list_rules:
+        print(list_rules(rules))
+        return 0
+    if args.self_check:
+        failures = self_check(rules)
+        total = len(rules)
+        print(f"repolint self-check: {total - failures}/{total} "
+              f"rules verified against seeded fixtures")
+        return 1 if failures else 0
+    paths = args.paths or ["src"]
+    report = Engine(rules).run(paths, root=Path(args.root))
+    _emit(report, rules, args.json_out)
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,442 @@
+"""The repolint rule engine: one AST walk, many invariant checkers.
+
+repolint exists because the engine's deepest contracts — manifests only
+publish through the fsync-tmp + atomic-replace seam, catalog state only
+mutates under the catalog lock, kernels stay pure ``Chunk ->
+ChunkPartial`` functions — are invisible to generic linters. Each
+contract becomes a :class:`Rule` with a stable id; the engine parses
+every file once, drives all interested rules through a single recursive
+walk (maintaining the class / function / ``with`` stacks rules need for
+lexical "lock held here?" questions), applies suppression comments, and
+renders findings as text or JSON.
+
+Suppressions are deliberate, attributed exceptions::
+
+    risky_call()  # repolint: ignore[rule-id] -- why this is safe
+
+A suppression without a ``-- reason`` does not suppress anything and is
+itself reported under the ``suppression-reason`` meta rule, so the
+escape hatch cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: ``# repolint: ignore[id-a,id-b] -- reason`` anywhere on a line.
+_SUPPRESS = re.compile(
+    r"#\s*repolint:\s*ignore\[([A-Za-z0-9_,\s-]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+#: Meta-rule id for malformed suppressions (see :class:`Engine`).
+SUPPRESSION_RULE_ID = "suppression-reason"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    suppressed: bool = False
+    reason: str | None = None
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}")
+
+    def to_json(self) -> dict:
+        payload = {"rule": self.rule, "path": self.path,
+                   "line": self.line, "col": self.col,
+                   "message": self.message, "severity": self.severity}
+        if self.suppressed:
+            payload["suppressed"] = True
+            payload["reason"] = self.reason
+        return payload
+
+
+class Rule:
+    """Base class for one machine-enforced contract.
+
+    Subclasses set the identity attributes and implement any of:
+
+    * ``visit_<NodeType>(node, ctx)`` — called during the engine's
+      single walk for every matching AST node;
+    * ``begin_module(ctx)`` / ``end_module(ctx)`` — per-file setup and
+      teardown (per-file state lives on the rule between the two);
+    * ``finish(project)`` — called once after every file, for
+      cross-file analyses (see the lock-order rule).
+
+    Attributes:
+        id: stable kebab-case identifier used in output, ``--select``
+            and suppression comments. Never renumber or reuse.
+        contract: the one-line invariant statement shown by
+            ``--list-rules`` and mirrored in ARCHITECTURE.md.
+        paths: fnmatch patterns (posix, relative to the scan root)
+            restricting which files the rule sees; ``None`` means every
+            scanned file. Patterns also match with any directory
+            prefix, so fixture trees that mirror ``src/...`` are seen.
+        severity: ``"error"`` findings always fail the run;
+            ``"warning"`` findings fail only under ``--strict``.
+    """
+
+    id: str = ""
+    contract: str = ""
+    paths: tuple[str, ...] | None = None
+    severity: str = "error"
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.paths is None:
+            return True
+        return any(fnmatch.fnmatch(relpath, pattern)
+                   or fnmatch.fnmatch(relpath, f"*/{pattern}")
+                   for pattern in self.paths)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        pass
+
+    def end_module(self, ctx: ModuleContext) -> None:
+        pass
+
+    def finish(self, project: Project) -> None:
+        pass
+
+
+class ModuleContext:
+    """Everything a rule may ask about the file being walked."""
+
+    def __init__(self, path: str, tree: ast.Module, text: str):
+        self.path = path
+        self.tree = tree
+        self.text = text
+        self.lines = text.splitlines()
+        #: Innermost-last stacks maintained by the engine's walk.
+        self.class_stack: list[ast.ClassDef] = []
+        self.func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        #: Context expressions of every ``with`` item enclosing the
+        #: current node (the item's own expression is walked *outside*
+        #: its block, so a lock never appears held while acquired).
+        self.with_stack: list[ast.expr] = []
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self._findings: list[Finding] = []
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self._findings.append(Finding(
+            rule=rule.id, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message, severity=rule.severity))
+
+    # -- conveniences rules keep reaching for --------------------------------
+
+    def source(self, node: ast.AST) -> str:
+        return ast.get_source_segment(self.text, node) or ""
+
+    def enclosing_function(self):
+        return self.func_stack[-1] if self.func_stack else None
+
+    def enclosing_class(self):
+        return self.class_stack[-1] if self.class_stack else None
+
+    def function_names(self) -> list[str]:
+        """Names of every function enclosing the current node,
+        outermost first."""
+        return [f.name for f in self.func_stack]
+
+
+class Project:
+    """Cross-file state handed to :meth:`Rule.finish`."""
+
+    def __init__(self) -> None:
+        self.modules: list[ModuleContext] = []
+        self.findings: list[Finding] = []
+
+    def report(self, rule: Rule, path: str, line: int, col: int,
+               message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule.id, path=path, line=line, col=col,
+            message=message, severity=rule.severity))
+
+
+@dataclass
+class Report:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.parse_errors:
+            return 2
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def to_json(self, rules: list[Rule]) -> dict:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": [rule_json(rule) for rule in rules],
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def rule_json(rule: Rule) -> dict:
+    return {"id": rule.id, "severity": rule.severity,
+            "contract": rule.contract,
+            "paths": list(rule.paths) if rule.paths else ["*"]}
+
+
+class _SuppressionRule(Rule):
+    """Meta rule: the suppression mechanism itself must stay honest.
+
+    Registered like any other rule so it appears in ``--list-rules``,
+    can be selected, and is exercised by fixtures — but its findings
+    are produced by the engine's suppression pass, not an AST visitor.
+    """
+
+    id = SUPPRESSION_RULE_ID
+    contract = ("every `# repolint: ignore[...]` carries a `-- reason`;"
+                " a reasonless suppression suppresses nothing and is "
+                "itself a finding")
+
+
+SUPPRESSION_RULE = _SuppressionRule()
+
+
+@dataclass
+class _Suppression:
+    line: int
+    ids: frozenset[str]
+    reason: str | None
+    used: bool = False
+
+
+def _parse_suppressions(lines: list[str]) -> list[_Suppression]:
+    out = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS.search(line)
+        if match is None:
+            continue
+        ids = frozenset(part.strip() for part in
+                        match.group(1).split(",") if part.strip())
+        out.append(_Suppression(lineno, ids, match.group("reason")))
+    return out
+
+
+class Engine:
+    """Runs a battery of rules over a file tree."""
+
+    def __init__(self, rules: list[Rule]):
+        self.rules = rules
+
+    # -- file discovery -------------------------------------------------------
+
+    @staticmethod
+    def discover(paths: list[str | Path], root: Path) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return [f for f in files if "__pycache__" not in f.parts]
+
+    # -- the walk -------------------------------------------------------------
+
+    def run(self, paths: list[str | Path],
+            root: str | Path | None = None) -> Report:
+        root = Path(root) if root is not None else Path.cwd()
+        report = Report()
+        project = Project()
+        for file in self.discover(paths, root):
+            try:
+                relpath = file.relative_to(root).as_posix()
+            except ValueError:
+                relpath = file.as_posix()
+            try:
+                text = file.read_text(encoding="utf-8")
+                tree = ast.parse(text, filename=str(file))
+            except (OSError, SyntaxError) as exc:
+                report.parse_errors.append(f"{relpath}: {exc}")
+                continue
+            report.files_scanned += 1
+            self._lint_module(relpath, tree, text, report, project)
+        for rule in self.rules:
+            rule.finish(project)
+        self._apply_suppressions_project(project, report)
+        return report
+
+    def _lint_module(self, relpath: str, tree: ast.Module, text: str,
+                     report: Report, project: Project) -> None:
+        active = [r for r in self.rules if r.applies_to(relpath)]
+        ctx = ModuleContext(relpath, tree, text)
+        project.modules.append(ctx)
+        if not active:
+            return
+        for rule in active:
+            rule.begin_module(ctx)
+        self._walk(tree, ctx, active)
+        for rule in active:
+            rule.end_module(ctx)
+        suppressions = _parse_suppressions(ctx.lines)
+        for finding in ctx._findings:
+            self._suppress(finding, suppressions, ctx.lines)
+            (report.suppressed if finding.suppressed
+             else report.findings).append(finding)
+        meta_active = any(r.id == SUPPRESSION_RULE_ID for r in active)
+        for sup in suppressions:
+            if meta_active and sup.reason is None:
+                report.findings.append(Finding(
+                    rule=SUPPRESSION_RULE_ID, path=relpath,
+                    line=sup.line, col=0,
+                    message=("suppression without a reason: write "
+                             "`# repolint: ignore[rule-id] -- why "
+                             "this is safe`"),
+                    severity=SUPPRESSION_RULE.severity))
+
+    def _walk(self, node: ast.AST, ctx: ModuleContext,
+              rules: list[Rule]) -> None:
+        method = f"visit_{type(node).__name__}"
+        for rule in rules:
+            hook = getattr(rule, method, None)
+            if hook is not None:
+                hook(node, ctx)
+        if isinstance(node, ast.ClassDef):
+            ctx.class_stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, rules)
+            ctx.class_stack.pop()
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ctx.func_stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, rules)
+            ctx.func_stack.pop()
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            # Visit the context expressions *outside* the block (a lock
+            # is not held while being acquired), then walk the body
+            # with them pushed.
+            for item in node.items:
+                self._walk(item.context_expr, ctx, rules)
+                if item.optional_vars is not None:
+                    self._walk(item.optional_vars, ctx, rules)
+            pushed = [item.context_expr for item in node.items]
+            ctx.with_stack.extend(pushed)
+            for stmt in node.body:
+                self._walk(stmt, ctx, rules)
+            del ctx.with_stack[len(ctx.with_stack) - len(pushed):]
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, rules)
+
+    # -- suppressions ---------------------------------------------------------
+
+    @staticmethod
+    def _suppress(finding: Finding, suppressions: list[_Suppression],
+                  lines: list[str]) -> None:
+        for sup in suppressions:
+            if finding.rule not in sup.ids or sup.reason is None:
+                continue
+            own_line = sup.line == finding.line
+            # A suppression on its own comment line covers the next
+            # source line.
+            above = (sup.line == finding.line - 1
+                     and sup.line <= len(lines)
+                     and lines[sup.line - 1].lstrip().startswith("#"))
+            if own_line or above:
+                finding.suppressed = True
+                finding.reason = sup.reason
+                sup.used = True
+                return
+
+    def _apply_suppressions_project(self, project: Project,
+                                    report: Report) -> None:
+        """Cross-file findings honour suppressions too: look the
+        target module's comments up by path."""
+        by_path = {ctx.path: ctx for ctx in project.modules}
+        for finding in project.findings:
+            ctx = by_path.get(finding.path)
+            if ctx is not None:
+                self._suppress(finding,
+                               _parse_suppressions(ctx.lines),
+                               ctx.lines)
+            (report.suppressed if finding.suppressed
+             else report.findings).append(finding)
+
+
+# -- shared AST helpers used by several rules ----------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``os.replace`` for ``Attribute(Name('os'), 'replace')``; None
+    for expressions that are not simple dotted chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets, if statically evident."""
+    return dotted_name(node.func)
+
+
+def is_write_mode(call: ast.Call) -> bool:
+    """True when an ``open(...)`` call opens for writing ('w', 'x',
+    'a' or '+' in a literal mode). An unknown, non-literal mode counts
+    as writing — the rules here would rather over-ask than miss a
+    publish."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False  # default mode is 'r'
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(ch in mode.value for ch in "wxa+")
+    return True
+
+
+def handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise`` — the only
+    form that re-raises the original exception object unchanged (and
+    therefore lets a BaseException-derived injected crash escape)."""
+    return any(isinstance(node, ast.Raise) and node.exc is None
+               for node in ast.walk(handler))

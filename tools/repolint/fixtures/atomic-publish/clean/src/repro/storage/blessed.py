@@ -1,0 +1,17 @@
+"""Clean twin: the same publish, inside the blessed seam."""
+
+import os
+
+
+def publish_manifest(directory, payload):
+    tmp = directory + "/MANIFEST.json.tmp"
+    with open(tmp, "w") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, directory + "/MANIFEST.json")
+
+
+def read_manifest(directory):
+    with open(directory + "/MANIFEST.json") as f:
+        return f.read()

@@ -1,0 +1,8 @@
+"""Suppressed twin: the violation, attributed and reasoned away."""
+
+import os
+
+
+def migrate_legacy_manifest(directory):
+    # repolint: ignore[atomic-publish, fsync-before-replace] -- one-shot v0->v1 migration shim; deleted after the format bump
+    os.replace(directory + "/MANIFEST.v0", directory + "/MANIFEST.json")

@@ -1,0 +1,12 @@
+"""Seeded violation: publishes outside the blessed seam."""
+
+import os
+
+
+def sneaky_publish(directory, payload):
+    # Writes a MANIFEST path and swaps files without going through
+    # publish_manifest — both moves must be flagged.
+    with open(directory + "/MANIFEST.json.tmp", "w") as f:
+        f.write(payload)
+    os.replace(directory + "/MANIFEST.json.tmp",
+               directory + "/MANIFEST.json")

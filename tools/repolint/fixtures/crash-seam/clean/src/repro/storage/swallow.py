@@ -1,0 +1,21 @@
+"""Clean twin: narrow handlers, and broad ones that re-raise."""
+
+import json
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def load_manifest(path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def guarded_publish(path, payload):
+    try:
+        path.write_text(payload, encoding="utf-8")
+    except BaseException:
+        log.error("publish failed mid-write: %s", path)
+        raise

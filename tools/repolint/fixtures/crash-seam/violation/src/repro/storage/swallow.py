@@ -1,0 +1,15 @@
+"""Seeded violation: handlers that swallow crash-injection exceptions."""
+
+
+def load_manifest(path):
+    try:
+        return path.read_text(encoding="utf-8")
+    except Exception:
+        return None
+
+
+def best_effort_cleanup(path):
+    try:
+        path.unlink()
+    except:
+        pass

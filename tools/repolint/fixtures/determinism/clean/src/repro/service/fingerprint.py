@@ -1,0 +1,9 @@
+"""Clean twin: content-addressed hashing only."""
+
+import hashlib
+import json
+
+
+def fingerprint(plan):
+    canonical = json.dumps(plan, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,10 @@
+"""Suppressed twin: a debug-only timing import with its reason pinned."""
+
+import hashlib
+import json
+import time  # repolint: ignore[determinism] -- local profiling only; value never reaches the digest
+
+
+def fingerprint(plan):
+    canonical = json.dumps(plan, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

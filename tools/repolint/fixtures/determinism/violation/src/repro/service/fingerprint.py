@@ -1,0 +1,10 @@
+"""Seeded violation: wall-clock and randomness in a fingerprint module."""
+
+import time
+import uuid
+
+
+def fingerprint(plan):
+    nonce = uuid.uuid4().hex
+    stamped = "%s@%f" % (nonce, time.time())
+    return stamped + repr(plan)

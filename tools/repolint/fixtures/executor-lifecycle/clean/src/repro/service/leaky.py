@@ -1,0 +1,36 @@
+"""Clean twin: every accepted ownership shape for an executor."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fan_out(tasks):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return [f.result() for f in [pool.submit(t) for t in tasks]]
+
+
+def fan_out_explicit(tasks):
+    pool = ThreadPoolExecutor(max_workers=4)
+    try:
+        return [pool.submit(t).result() for t in tasks]
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _drain(pool, tasks):
+    try:
+        return [pool.submit(t).result() for t in tasks]
+    finally:
+        pool.shutdown(wait=True)
+
+
+def fan_out_delegated(tasks):
+    pool = ThreadPoolExecutor(max_workers=2)
+    return _drain(pool, tasks)
+
+
+class Server:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(max_workers=8)
+
+    def close(self):
+        self._pool.shutdown(wait=False)

@@ -1,0 +1,9 @@
+"""Suppressed twin: a process-lifetime pool, reasoned about explicitly."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+_GLOBAL_POOL = ThreadPoolExecutor(max_workers=2)  # repolint: ignore[executor-lifecycle] -- process-lifetime pool; reaped by interpreter atexit hooks
+
+
+def fan_out(tasks):
+    return [_GLOBAL_POOL.submit(t).result() for t in tasks]

@@ -1,0 +1,9 @@
+"""Seeded violation: a pool that is created, used, and never shut down."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fan_out(tasks):
+    pool = ThreadPoolExecutor(max_workers=4)
+    futures = [pool.submit(task) for task in tasks]
+    return [f.result() for f in futures]

@@ -1,0 +1,12 @@
+"""Clean twin: flush + fsync before the atomic rename."""
+
+import os
+
+
+def publish(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)

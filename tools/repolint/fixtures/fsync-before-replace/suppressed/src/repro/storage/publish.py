@@ -1,0 +1,11 @@
+"""Suppressed twin: a scratch-file swap that is allowed to lose data."""
+
+import os
+
+
+def swap_scratch(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(payload)
+    # repolint: ignore[fsync-before-replace, atomic-publish] -- scratch cache only; rebuilt from shards on any read miss
+    os.replace(tmp, path)

@@ -1,0 +1,10 @@
+"""Seeded violation: tmp-write then rename with no fsync in between."""
+
+import os
+
+
+def publish(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(payload)
+    os.replace(tmp, path)

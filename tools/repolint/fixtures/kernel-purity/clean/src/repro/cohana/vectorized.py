@@ -1,0 +1,9 @@
+"""Clean twin: a pure Chunk -> ChunkPartial kernel."""
+
+from repro.storage.chunk import Chunk
+from repro.storage.reader import CompressedActivityTable
+
+
+def scan(table: CompressedActivityTable, chunk: Chunk, plan):
+    matched = [row for row in chunk if plan.admits(row)]
+    return {"rows": len(matched)}

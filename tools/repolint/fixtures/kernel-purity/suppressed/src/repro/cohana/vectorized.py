@@ -1,0 +1,9 @@
+"""Suppressed twin: a temporary impurity, attributed and reasoned."""
+
+import time  # repolint: ignore[kernel-purity] -- perf tracing during the bitpack rewrite; stripped before merge
+
+
+def scan(chunk, plan):
+    started = time.perf_counter()
+    matched = [row for row in chunk if plan.admits(row)]
+    return {"rows": len(matched), "seconds": time.perf_counter() - started}

@@ -1,0 +1,15 @@
+"""Seeded violation: a kernel with ambient effects."""
+
+import time
+
+from repro.storage.writer import compress
+
+_CALLS = 0
+
+
+def scan(chunk, plan):
+    global _CALLS
+    _CALLS += 1
+    print("scanning", chunk)
+    compress(chunk)
+    return time.time()

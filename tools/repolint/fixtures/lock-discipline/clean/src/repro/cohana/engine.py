@@ -1,0 +1,29 @@
+"""Clean twin: every mutation under the lock or a documented helper."""
+
+import threading
+
+
+class CohanaEngine:
+    def __init__(self):
+        self._catalog = {}
+        self._versions = {}
+        self._mem_version_counter = 0
+        self._catalog_lock = threading.RLock()
+
+    def register(self, name, table):
+        with self._catalog_lock:
+            self._catalog[name] = table
+            self._stamp_version(name)
+
+    def _stamp_version(self, name):
+        """Record a fresh token. Caller holds ``self._catalog_lock``."""
+        self._mem_version_counter += 1
+        self._versions[name] = f"mem:{self._mem_version_counter}"
+
+    def drop(self, name):
+        with self._catalog_lock:
+            del self._catalog[name]
+            self._versions.pop(name, None)
+
+    def table(self, name):
+        return self._catalog[name]

@@ -1,0 +1,14 @@
+"""Suppressed twin: a deliberate unlocked mutation, with its reason."""
+
+import threading
+
+
+class CohanaEngine:
+    def __init__(self):
+        self._catalog = {}
+        self._catalog_lock = threading.RLock()
+
+    def bulk_load_single_threaded(self, tables):
+        for name, table in tables.items():
+            # repolint: ignore[lock-discipline] -- startup path, provably before any worker thread exists
+            self._catalog[name] = table

@@ -1,0 +1,21 @@
+"""Seeded violation: catalog state mutated without the catalog lock."""
+
+import threading
+
+
+class CohanaEngine:
+    def __init__(self):
+        self._catalog = {}
+        self._versions = {}
+        self._mem_version_counter = 0
+        self._catalog_lock = threading.RLock()
+
+    def register(self, name, table):
+        # Unlocked read-modify-write of guarded state: both must flag.
+        self._catalog[name] = table
+        self._mem_version_counter += 1
+        self._versions[name] = f"mem:{self._mem_version_counter}"
+
+    def drop(self, name):
+        del self._catalog[name]
+        self._versions.pop(name, None)

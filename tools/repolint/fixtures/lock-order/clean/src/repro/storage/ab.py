@@ -1,0 +1,22 @@
+"""Clean twin: one global order, including through a helper call."""
+
+import threading
+
+_ALPHA_LOCK = threading.Lock()
+_BETA_LOCK = threading.Lock()
+
+
+def _inner():
+    with _BETA_LOCK:
+        return "b"
+
+
+def forward():
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return "a-then-b"
+
+
+def also_forward():
+    with _ALPHA_LOCK:
+        return _inner()

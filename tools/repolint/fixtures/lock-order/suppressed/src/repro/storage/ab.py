@@ -1,0 +1,19 @@
+"""Suppressed twin: a known, reasoned-away ordering conflict."""
+
+import threading
+
+_ALPHA_LOCK = threading.Lock()
+_BETA_LOCK = threading.Lock()
+
+
+def forward():
+    with _ALPHA_LOCK:
+        # repolint: ignore[lock-order] -- beta is only ever tried with a timeout here; documented in the module header
+        with _BETA_LOCK:
+            return "a-then-b"
+
+
+def backward():
+    with _BETA_LOCK:
+        with _ALPHA_LOCK:
+            return "b-then-a"

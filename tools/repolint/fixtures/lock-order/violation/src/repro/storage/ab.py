@@ -1,0 +1,18 @@
+"""Seeded violation: two locks acquired in opposite orders."""
+
+import threading
+
+_ALPHA_LOCK = threading.Lock()
+_BETA_LOCK = threading.Lock()
+
+
+def forward():
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return "a-then-b"
+
+
+def backward():
+    with _BETA_LOCK:
+        with _ALPHA_LOCK:
+            return "b-then-a"

@@ -1,0 +1,8 @@
+"""Clean twin: every suppression carries its justification."""
+
+import hashlib
+
+
+def digest(payload):
+    # repolint: ignore[determinism] -- hashlib is deterministic; comment kept to document the audit
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,8 @@
+"""Seeded violation: a suppression with no reason suppresses nothing."""
+
+import hashlib
+
+
+def digest(payload):
+    # repolint: ignore[determinism]
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,94 @@
+"""atomic-publish: manifests and view state publish through one seam.
+
+The crash-consistency story (ARCHITECTURE.md, "Compaction, generations,
+and snapshot isolation") rests on every manifest / view-state publish
+going through the blessed fsync-tmp + atomic ``os.replace`` functions:
+``publish_manifest`` in ``storage/sharded.py`` and
+``DiskViewStore._write_atomic`` in ``views/store.py``. A stray
+``os.replace`` — or a write-mode ``open`` of a ``MANIFEST``/``VIEWS``
+path — anywhere else bypasses the crash points, the fsyncs, and the
+publish lock, and silently exits the harness's coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import (
+    ModuleContext,
+    Rule,
+    call_name,
+    is_write_mode,
+)
+
+#: The only functions allowed to invoke the atomic-replace syscalls or
+#: write manifest/view files. Adding a name here is an architectural
+#: decision: the new function must carry the full publish discipline
+#: (fsync before replace, crash points where applicable).
+BLESSED_PUBLISHERS = frozenset({
+    "publish_manifest",   # storage/sharded.py: the manifest seam
+    "_write_atomic",      # views/store.py: the view-state seam
+})
+
+#: Calls that atomically swap a path — only publishers may use them.
+_REPLACE_CALLS = frozenset({
+    "os.replace", "os.rename", "shutil.move", "_os_replace",
+})
+
+#: Write targets that smell like manifest / view state.
+_GUARDED_MARKERS = ("MANIFEST", "VIEWS")
+
+#: Modules that own manifest/view bytes: write-mode opens here must
+#: come from a blessed publisher or a shard writer.
+_STORAGE_SCOPE = ("src/repro/storage/*.py", "src/repro/views/*.py")
+
+#: Shard-file writers: they write *new* exclusive-create files (never
+#: replace existing bytes), which is the other legal write shape.
+_SHARD_WRITERS = frozenset({"_append_shard_locked", "compact"})
+
+
+class AtomicPublishRule(Rule):
+    id = "atomic-publish"
+    contract = ("os.replace/os.rename and MANIFEST*/VIEWS/ writes "
+                "happen only inside the blessed publish seam "
+                "(publish_manifest, DiskViewStore._write_atomic)")
+    paths = ("src/repro/*.py", "src/repro/*/*.py", "src/repro/*/*/*.py")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = call_name(node)
+        if name in _REPLACE_CALLS:
+            if not _inside_blessed(ctx):
+                ctx.report(self, node, (
+                    f"{name} outside the blessed publish seam — route "
+                    f"this through publish_manifest/_write_atomic (or "
+                    f"bless the enclosing function after giving it the "
+                    f"full fsync+atomic-replace discipline)"))
+            return
+        if not any(self.applies_scope(ctx.path, p)
+                   for p in _STORAGE_SCOPE):
+            return
+        writing = (name == "open" and is_write_mode(node)) or (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("write_text", "write_bytes"))
+        if not writing:
+            return
+        target_src = ctx.source(node)
+        if not any(marker in target_src for marker in _GUARDED_MARKERS):
+            return
+        names = set(ctx.function_names())
+        if names & (BLESSED_PUBLISHERS | _SHARD_WRITERS):
+            return
+        ctx.report(self, node, (
+            "write to a MANIFEST/VIEWS path outside the blessed "
+            "publish seam — only publish_manifest/_write_atomic may "
+            "produce these bytes"))
+
+    @staticmethod
+    def applies_scope(path: str, pattern: str) -> bool:
+        import fnmatch
+        return (fnmatch.fnmatch(path, pattern)
+                or fnmatch.fnmatch(path, f"*/{pattern}"))
+
+
+def _inside_blessed(ctx: ModuleContext) -> bool:
+    return bool(set(ctx.function_names()) & BLESSED_PUBLISHERS)

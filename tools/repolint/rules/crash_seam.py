@@ -1,0 +1,69 @@
+"""crash-seam: storage publish paths never swallow broad exceptions.
+
+The fault-injection harness (``tests/faultinject.py``) raises
+``InjectedCrash`` — deliberately ``BaseException``-derived — at every
+publish-path crash point to prove recovery. A bare ``except:`` or
+``except BaseException:`` in ``storage/`` or the view store would
+swallow the injected crash and let a "recovered" run pass vacuously;
+an ``except Exception:`` there swallows real OS errors instead,
+turning a failed publish into silent data loss. Handlers in these
+modules must name the exceptions they understand — or re-raise with a
+bare ``raise`` after their bookkeeping (the one shape that preserves
+the in-flight exception object).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import (
+    ModuleContext,
+    Rule,
+    dotted_name,
+    handler_reraises,
+)
+
+_BROAD = frozenset({"Exception", "BaseException",
+                    "builtins.Exception", "builtins.BaseException"})
+
+
+def _broad_names(type_node: ast.expr | None) -> list[str]:
+    """Broad exception classes named by a handler's type expression."""
+    if type_node is None:
+        return []
+    exprs = (type_node.elts if isinstance(type_node, ast.Tuple)
+             else [type_node])
+    names = []
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name in _BROAD:
+            names.append(name)
+    return names
+
+
+class CrashSeamRule(Rule):
+    id = "crash-seam"
+    contract = ("storage/ and views-store publish paths have no bare "
+                "`except:` / `except Exception` / `except "
+                "BaseException` that fails to re-raise — broad "
+                "handlers would swallow injected crashes or real "
+                "publish failures")
+    paths = ("src/repro/storage/*.py", "src/repro/views/*.py")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: ModuleContext) -> None:
+        if node.type is None:
+            ctx.report(self, node, (
+                "bare `except:` catches BaseException and would "
+                "swallow the fault harness's InjectedCrash — name "
+                "the exceptions this publish path understands"))
+            return
+        broad = _broad_names(node.type)
+        if not broad or handler_reraises(node):
+            return
+        ctx.report(self, node, (
+            f"`except {broad[0]}` without a bare `raise` in a "
+            f"storage publish path — this swallows "
+            f"{'injected crashes' if 'Base' in broad[0] else 'real publish failures'};"
+            f" catch the specific exceptions instead, or re-raise "
+            f"after bookkeeping"))

@@ -1,0 +1,102 @@
+"""executor-lifecycle: every pool provably reaches a shutdown.
+
+A ``ThreadPoolExecutor``/``ProcessPoolExecutor`` that never shuts down
+leaks worker threads (or zombie processes) past the query that spawned
+them — the exact bug class PR 3 fixed by draining pools with
+``cancel_futures`` on kernel failure. The rule demands one of the
+deterministic shapes:
+
+* constructed as a ``with`` context manager;
+* bound to a local that is ``.shutdown()`` somewhere in the function,
+  handed to another call (ownership transfer, e.g. ``_drain_pool``),
+  or returned;
+* bound to ``self.<attr>`` where the class ``.shutdown()``s that
+  attribute somewhere.
+
+Anything else — in particular a bare ``Executor().submit(...)`` — is
+an orphaned pool.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import ModuleContext, Rule, dotted_name
+
+_EXECUTORS = ("ThreadPoolExecutor", "ProcessPoolExecutor")
+
+
+def _is_executor_ctor(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] in _EXECUTORS
+
+
+class ExecutorLifecycleRule(Rule):
+    id = "executor-lifecycle"
+    contract = ("every ThreadPoolExecutor/ProcessPoolExecutor reaches "
+                "a deterministic shutdown: `with` block, a local "
+                "`.shutdown()`/ownership transfer, or a class-level "
+                "`self.<attr>.shutdown()`")
+    paths = ("src/repro/*.py", "src/repro/*/*.py", "src/repro/*/*/*.py")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if not _is_executor_ctor(node):
+            return
+        parent = ctx.parents.get(node)
+        if isinstance(parent, ast.withitem):
+            return
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return  # ownership transferred to the callee
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                if self._local_reaches_shutdown(target.id, ctx):
+                    return
+            elif (isinstance(target, ast.Attribute)
+                  and isinstance(target.value, ast.Name)
+                  and target.value.id == "self"
+                  and self._attr_reaches_shutdown(target.attr, ctx)):
+                return
+        ctx.report(self, node, (
+            "executor pool never provably shut down — use a `with` "
+            "block, call `.shutdown()` on every path (or hand the "
+            "pool to a draining helper), or shut the stored attribute "
+            "down in a lifecycle method"))
+
+    @staticmethod
+    def _local_reaches_shutdown(name: str, ctx: ModuleContext) -> bool:
+        func = ctx.enclosing_function()
+        if func is None:
+            return False
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "shutdown"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name):
+                return True
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+            if (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == name):
+                return True
+        return False
+
+    @staticmethod
+    def _attr_reaches_shutdown(attr: str, ctx: ModuleContext) -> bool:
+        cls = ctx.enclosing_class()
+        if cls is None:
+            return False
+        return any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "shutdown"
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == attr
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+            for node in ast.walk(cls))

@@ -1,0 +1,64 @@
+"""fsync-before-replace: atomic replace implies durable bytes first.
+
+``os.replace`` makes a rename atomic, but atomicity without an fsync
+of the temp file is a crash-consistency lie: after a power cut the
+filesystem may have persisted the rename *before* the data blocks,
+leaving the real name pointing at a hole. The publish seam in
+``storage/sharded.py`` got this right from day one (write, flush,
+``fsync``, then replace); this rule makes the discipline mechanical —
+any function that both writes a file and ``os.replace``s it must
+fsync between the write and the replace.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import ModuleContext, Rule, call_name, is_write_mode
+
+_REPLACE = frozenset({"os.replace", "_os_replace"})
+
+#: Calls whose name says "this makes bytes durable".
+_FSYNCISH = ("fsync",)
+
+
+class FsyncBeforeReplaceRule(Rule):
+    id = "fsync-before-replace"
+    contract = ("a function that writes a file and os.replace()s it "
+                "must fsync between the write and the replace — "
+                "atomic rename without durable bytes is a torn "
+                "publish after a crash")
+    paths = ("src/repro/*.py", "src/repro/*/*.py", "src/repro/*/*/*.py")
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if call_name(node) not in _REPLACE:
+            return
+        func = ctx.enclosing_function()
+        if func is None:
+            return
+        write_lines = []
+        fsync_lines = []
+        for sub in ast.walk(func):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = call_name(sub) or ""
+            if ((name == "open" and is_write_mode(sub))
+                    or (isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in ("write_text",
+                                              "write_bytes"))):
+                write_lines.append(sub.lineno)
+            if any(marker in name.split(".")[-1]
+                   for marker in _FSYNCISH):
+                fsync_lines.append(sub.lineno)
+        replaced = node.lineno
+        writes_before = [ln for ln in write_lines if ln < replaced]
+        if not writes_before:
+            return
+        first_write = min(writes_before)
+        if any(first_write <= ln <= replaced for ln in fsync_lines):
+            return
+        ctx.report(self, node, (
+            "os.replace() of freshly written bytes with no fsync in "
+            "between — a crash can persist the rename before the "
+            "data; write via `open`, flush, `os.fsync(f.fileno())`, "
+            "then replace (see publish_manifest)"))

@@ -1,0 +1,79 @@
+"""kernel-purity: the three kernel files stay pure Chunk -> ChunkPartial.
+
+PR 8 landed SESSIONIZE with zero kernel edits precisely because
+``vectorized.py`` / ``iterator_executor.py`` / ``compressed.py`` are
+pure functions over chunks: no storage writers, no service or view
+imports, no I/O, no clock, no RNG, no global mutation. That property
+is what makes the vectorized-vs-iterator digest-parity sweep a real
+oracle (same inputs, same outputs, forever) and what lets new
+operators wrap kernels with derived-column views instead of editing
+them. This rule freezes the property.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import ModuleContext, Rule, call_name
+
+#: Import prefixes kernels may never touch: storage writers and
+#: lifecycle, the service/view layers above them, and ambient-effect
+#: stdlib modules (I/O, clock, randomness, concurrency).
+FORBIDDEN_IMPORTS = (
+    "repro.storage.writer", "repro.storage.sharded",
+    "repro.storage.compaction", "repro.storage.format",
+    "repro.service", "repro.views", "repro.cli",
+    "os", "io", "pathlib", "shutil", "socket", "subprocess",
+    "threading", "multiprocessing", "time", "random", "uuid",
+    "secrets",
+)
+
+#: Direct calls with ambient effects.
+_BANNED_CALLS = frozenset({
+    "open", "print", "input", "exec", "eval", "__import__",
+})
+
+
+class KernelPurityRule(Rule):
+    id = "kernel-purity"
+    contract = ("kernel files (vectorized/iterator_executor/"
+                "compressed) import no storage writers, service, "
+                "views, or I/O/clock/RNG modules, and never mutate "
+                "global state")
+    paths = ("src/repro/cohana/vectorized.py",
+             "src/repro/cohana/iterator_executor.py",
+             "src/repro/cohana/compressed.py")
+
+    def visit_Import(self, node: ast.Import, ctx: ModuleContext) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name, ctx)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom,
+                         ctx: ModuleContext) -> None:
+        if node.module is not None and node.level == 0:
+            self._check_import(node, node.module, ctx)
+
+    def _check_import(self, node: ast.AST, module: str,
+                      ctx: ModuleContext) -> None:
+        for banned in FORBIDDEN_IMPORTS:
+            if module == banned or module.startswith(banned + "."):
+                ctx.report(self, node, (
+                    f"kernel imports {module!r} — kernels are pure "
+                    f"Chunk -> ChunkPartial functions and must not "
+                    f"reach storage writers, the service/view layers, "
+                    f"or ambient-effect stdlib modules; do this work "
+                    f"in an operator or the scheduler instead"))
+                return
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = call_name(node)
+        if name in _BANNED_CALLS:
+            ctx.report(self, node, (
+                f"kernel calls {name}() — no I/O or dynamic "
+                f"execution inside a kernel"))
+
+    def visit_Global(self, node: ast.Global, ctx: ModuleContext) -> None:
+        ctx.report(self, node, (
+            f"kernel declares `global {', '.join(node.names)}` — "
+            f"kernels must not mutate module state; thread results "
+            f"through ChunkPartial"))

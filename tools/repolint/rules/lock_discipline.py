@@ -1,0 +1,119 @@
+"""lock-discipline: catalog state only mutates under the catalog lock.
+
+``CohanaEngine`` shares ``_catalog`` / ``_versions`` /
+``_mem_version_counter`` across the service's admission threads; an
+unguarded mutation is a lost update waiting to happen (two
+registrations sharing one ``mem:`` token would let stale cached
+results survive — the exact scenario the lock comment in ``engine.py``
+documents). This rule is the intraprocedural "lock held?" analysis:
+every mutation of the guarded attributes must sit lexically inside
+``with self._catalog_lock:``.
+
+Two exemptions mirror the code's real contracts:
+
+* ``__init__`` — the object is not shared yet;
+* helper methods whose docstring declares ``Caller holds
+  ``self._catalog_lock```` — the documented locked-helper
+  convention (``_stamp_version``); the caller-side call sites are
+  themselves inside ``with`` blocks this rule checks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repolint.core import ModuleContext, Rule
+
+#: Attribute names accepted as the catalog lock in ``with self.<x>``.
+LOCK_ATTRS = frozenset({"_catalog_lock", "_lock"})
+
+#: Engine state the lock guards, as one unit.
+GUARDED_ATTRS = frozenset({
+    "_catalog", "_versions", "_mem_version_counter",
+})
+
+#: Method calls that mutate a dict/list in place.
+_MUTATING_METHODS = frozenset({
+    "pop", "clear", "update", "setdefault", "popitem", "append",
+})
+
+
+def _self_attr(node: ast.AST, attrs: frozenset[str]) -> str | None:
+    """``_catalog`` for ``self._catalog`` / ``self._catalog[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in attrs):
+        return node.attr
+    return None
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    contract = ("engine catalog state (_catalog/_versions/"
+                "_mem_version_counter) mutates only inside `with "
+                "self._catalog_lock`, in __init__, or in a documented "
+                "locked helper (docstring: 'Caller holds')")
+    paths = ("src/repro/cohana/engine.py",)
+
+    def visit_Assign(self, node: ast.Assign, ctx: ModuleContext) -> None:
+        for target in node.targets:
+            self._check_target(node, target, ctx)
+
+    def visit_AugAssign(self, node: ast.AugAssign,
+                        ctx: ModuleContext) -> None:
+        self._check_target(node, node.target, ctx)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign,
+                        ctx: ModuleContext) -> None:
+        if node.value is not None:
+            self._check_target(node, node.target, ctx)
+
+    def visit_Delete(self, node: ast.Delete, ctx: ModuleContext) -> None:
+        for target in node.targets:
+            self._check_target(node, target, ctx)
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS):
+            attr = _self_attr(func.value, GUARDED_ATTRS)
+            if attr is not None:
+                self._check(node, attr, ctx)
+
+    # -- the actual discipline check ------------------------------------------
+
+    def _check_target(self, node: ast.AST, target: ast.AST,
+                      ctx: ModuleContext) -> None:
+        attr = _self_attr(target, GUARDED_ATTRS)
+        if attr is not None:
+            self._check(node, attr, ctx)
+
+    def _check(self, node: ast.AST, attr: str,
+               ctx: ModuleContext) -> None:
+        if self._lock_held(ctx) or self._exempt(ctx):
+            return
+        ctx.report(self, node, (
+            f"mutation of self.{attr} outside `with "
+            f"self._catalog_lock` — catalog, version map and counter "
+            f"move as one unit under the lock (see CohanaEngine."
+            f"__init__); hold the lock or document a locked-helper "
+            f"contract ('Caller holds ``self._catalog_lock``')"))
+
+    @staticmethod
+    def _lock_held(ctx: ModuleContext) -> bool:
+        return any(_self_attr(expr, LOCK_ATTRS) is not None
+                   for expr in ctx.with_stack)
+
+    @staticmethod
+    def _exempt(ctx: ModuleContext) -> bool:
+        func = ctx.enclosing_function()
+        if func is None:
+            return False
+        if func.name == "__init__":
+            return True
+        doc = ast.get_docstring(func) or ""
+        return "Caller holds" in doc and any(
+            lock in doc for lock in LOCK_ATTRS)

@@ -1,0 +1,249 @@
+"""lock-order: the static lock-acquisition graph must stay acyclic.
+
+The engine holds locks while calling into code that takes more locks:
+``append_shard`` holds the per-directory publish lock while
+``load_sharded`` pins generations under ``_PIN_LOCK``; the engine's
+catalog lock wraps view-catalog calls that reach the disk store. Two
+threads acquiring two locks in opposite orders is the classic silent
+deadlock, and no test reliably provokes it — so this rule builds the
+static graph instead: a lexical ``with A: ... with B:`` nesting adds
+edge A→B, and a call made while A is held adds A→L for every lock L
+the (transitively resolved) callee acquires. Any cycle in the result
+is reported.
+
+Resolution is deliberately conservative: plain-name calls resolve to
+module-level functions of that name, ``self.m()`` to methods named
+``m`` on the lexically enclosing class; attribute calls on other
+objects are not followed. That misses some flows (documented
+limitation) but keeps the graph honest enough that an edge in a
+reported cycle is worth reading.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from pathlib import PurePosixPath
+
+from tools.repolint.core import ModuleContext, Project, Rule, dotted_name
+
+
+def _lockish(name: str) -> bool:
+    return "lock" in name.lower()
+
+
+class LockOrderRule(Rule):
+    id = "lock-order"
+    contract = ("the static graph of nested lock acquisitions "
+                "(lexical `with` nesting plus calls made while a lock "
+                "is held) contains no cycle")
+    paths = ("src/repro/*.py", "src/repro/*/*.py", "src/repro/*/*/*.py")
+
+    def __init__(self) -> None:
+        #: qual -> locks acquired lexically anywhere in the function.
+        self._direct: dict[str, set[str]] = defaultdict(set)
+        #: qual -> callee keys (every call, held or not).
+        self._callgraph: dict[str, set[tuple]] = defaultdict(set)
+        #: bare function name -> candidate quals (module-level defs).
+        self._funcs_by_name: dict[str, set[str]] = defaultdict(set)
+        #: (class name, method name) -> qual.
+        self._methods: dict[tuple[str, str], str] = {}
+        #: direct nesting edges: (held, acquired, path, line).
+        self._edges: list[tuple[str, str, str, int]] = []
+        #: calls made under held locks: (held, callee key, path, line).
+        self._locked_calls: list[tuple] = []
+
+    # -- canonical lock names -------------------------------------------------
+
+    def _canon(self, expr: ast.expr, ctx: ModuleContext) -> str | None:
+        """A cross-file-stable name for a lock expression, or None when
+        the expression is not lock-like."""
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name is not None and _lockish(name.split(".")[-1]):
+                return f"{name.split('.')[-1]}()"
+            return None
+        if isinstance(expr, ast.Attribute) and _lockish(expr.attr):
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id in ("self", "cls")):
+                cls = ctx.enclosing_class()
+                owner = cls.name if cls is not None else "self"
+                return f"{owner}.{expr.attr}"
+            return f"{dotted_name(expr) or expr.attr}"
+        if isinstance(expr, ast.Name) and _lockish(expr.id):
+            stem = PurePosixPath(ctx.path).stem
+            return f"{stem}.{expr.id}"
+        return None
+
+    def _qual(self, ctx: ModuleContext) -> str | None:
+        func = ctx.enclosing_function()
+        if func is None:
+            return None
+        cls = ctx.enclosing_class()
+        if cls is not None:
+            return f"{cls.name}.{func.name}"
+        stem = PurePosixPath(ctx.path).stem
+        return f"{stem}.{func.name}"
+
+    # -- collection visitors --------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: ModuleContext) -> None:
+        cls = ctx.enclosing_class()
+        stem = PurePosixPath(ctx.path).stem
+        if cls is not None and not ctx.func_stack:
+            self._methods[(cls.name, node.name)] = \
+                f"{cls.name}.{node.name}"
+        elif not ctx.func_stack:
+            self._funcs_by_name[node.name].add(f"{stem}.{node.name}")
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_With(self, node: ast.With, ctx: ModuleContext) -> None:
+        acquired = [canon for item in node.items
+                    if (canon := self._canon(item.context_expr, ctx))]
+        if not acquired:
+            return
+        held = {canon for expr in ctx.with_stack
+                if (canon := self._canon(expr, ctx))}
+        for h in sorted(held):
+            for a in acquired:
+                if h != a:
+                    self._edges.append((h, a, ctx.path, node.lineno))
+        qual = self._qual(ctx)
+        if qual is not None:
+            self._direct[qual].update(acquired)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        key = self._callee_key(node, ctx)
+        if key is None:
+            return
+        qual = self._qual(ctx)
+        if qual is not None:
+            self._callgraph[qual].add(key)
+        held = {canon for expr in ctx.with_stack
+                if (canon := self._canon(expr, ctx))}
+        if held:
+            self._locked_calls.append(
+                (frozenset(held), key, ctx.path, node.lineno))
+
+    @staticmethod
+    def _callee_key(node: ast.Call, ctx: ModuleContext) -> tuple | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")):
+            cls = ctx.enclosing_class()
+            if cls is not None:
+                return ("method", cls.name, func.attr)
+        return None
+
+    # -- the cross-file analysis ----------------------------------------------
+
+    def _resolve(self, key: tuple) -> set[str]:
+        if key[0] == "name":
+            return set(self._funcs_by_name.get(key[1], ()))
+        qual = self._methods.get((key[1], key[2]))
+        return {qual} if qual is not None else set()
+
+    def _summaries(self) -> dict[str, set[str]]:
+        """Locks each function acquires, transitively through resolved
+        calls (fixpoint over the name-resolved call graph)."""
+        summary = {qual: set(locks)
+                   for qual, locks in self._direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in self._callgraph.items():
+                bucket = summary.setdefault(qual, set())
+                before = len(bucket)
+                for key in callees:
+                    for target in self._resolve(key):
+                        bucket.update(summary.get(target, ()))
+                if len(bucket) != before:
+                    changed = True
+        return summary
+
+    def finish(self, project: Project) -> None:
+        summary = self._summaries()
+        edges = list(self._edges)
+        for held, key, path, line in self._locked_calls:
+            for target in self._resolve(key):
+                for lock in summary.get(target, ()):
+                    for h in held:
+                        if h != lock:
+                            edges.append((h, lock, path, line))
+        graph: dict[str, set[str]] = defaultdict(set)
+        witness: dict[tuple[str, str], tuple[str, int]] = {}
+        for h, a, path, line in edges:
+            graph[h].add(a)
+            witness.setdefault((h, a), (path, line))
+        for component in _cyclic_sccs(graph):
+            locks = sorted(component)
+            path, line = min(
+                witness[(h, a)] for h in component for a in graph[h]
+                if a in component and (h, a) in witness)
+            project.report(self, path, line, 0, (
+                f"potential lock-order deadlock: "
+                f"{{{', '.join(locks)}}} are acquired in conflicting "
+                f"orders (cycle in the static acquisition graph); "
+                f"pick one order and stick to it"))
+
+
+def _cyclic_sccs(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Strongly connected components with more than one node (self
+    loops are excluded upstream: every lock here is re-entrant or
+    per-instance). Iterative Tarjan."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    out: list[set[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(
+                        graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    out.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return out
